@@ -1,0 +1,77 @@
+// §5.4 "Batch parameter": the number of z-pencils B processed per batch.
+//
+// On the paper's GPU, B controls transform concurrency: 19.9% faster moving
+// B 512→1024 at N = 256, 7.35% at N = 1024, 5-7% at N = 2048 — gains that
+// saturate. On a CPU the transform throughput is occupancy-insensitive, so
+// the runtime column here is expected to be nearly flat (we report it to
+// show exactly that); what B does govern on every platform is the pencil
+// working-set memory, which we report measured (device-tracked) and at
+// paper scale (allocation plan).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/local_convolver.hpp"
+#include "device/memory_model.hpp"
+#include "green/gaussian.hpp"
+
+int main() {
+  using namespace lc;
+
+  // --- Measured runtime + tracked memory vs B at N = 128 ------------------
+  {
+    const i64 n = 128;
+    const i64 k = 32;
+    const Grid3 g = Grid3::cube(n);
+    auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+    const Index3 corner{n / 2 - k / 2, n / 2 - k / 2, n / 2 - k / 2};
+    auto tree = std::make_shared<sampling::Octree>(
+        g, Box3::cube_at(corner, k),
+        sampling::SamplingPolicy::paper_default(k, 16, 0));
+    RealField chunk(Grid3::cube(k));
+    SplitMix64 rng(5);
+    for (auto& v : chunk.span()) v = rng.uniform(-1.0, 1.0);
+
+    TextTable table("§5.4 — batch parameter B (measured, N=128, k=32)");
+    table.header({"B", "time (ms)", "pencil buffers (KB)", "peak device (MB)"});
+    for (const std::size_t batch : {128u, 512u, 1024u, 4096u}) {
+      device::DeviceContext ctx(device::DeviceSpec::unlimited());
+      core::LocalConvolverConfig cfg;
+      cfg.batch = batch;
+      cfg.device = &ctx;
+      core::LocalConvolver conv(g, kernel, cfg);
+      (void)conv.convolve_subdomain(chunk, corner, tree);  // warm-up
+      ctx.reset_peak();
+      Stopwatch sw;
+      (void)conv.convolve_subdomain(chunk, corner, tree);
+      const double ms = sw.millis();
+      table.row({std::to_string(batch), format_fixed(ms, 1),
+                 std::to_string(2 * batch * n * 16 / 1024),
+                 format_fixed(static_cast<double>(ctx.peak_bytes()) / 1e6, 1)});
+    }
+    table.print();
+    std::puts(
+        "Shape check: runtime ~flat on CPU (the paper's 5-20% B gains are\n"
+        "GPU-occupancy effects); pencil working set grows linearly with B.\n");
+  }
+
+  // --- Paper-scale memory effect of B (allocation plan) -------------------
+  {
+    TextTable table("B vs device footprint at paper scale (plan, N=2048, k=64)");
+    table.header({"B", "pencil buffers (MB)", "actual total (GB)"});
+    for (const std::size_t batch : {1024u, 4096u, 8192u, 32768u}) {
+      const auto plan = device::plan_local_pipeline(
+          2048, 64, sampling::SamplingPolicy::uniform(64), batch);
+      table.row({std::to_string(batch),
+                 format_fixed(static_cast<double>(plan.pencil_bytes) / 1e6, 1),
+                 format_bytes_gb(static_cast<double>(plan.actual_total()))});
+    }
+    table.print();
+    std::puts(
+        "Paper §5.4 uses B up to 32768 at N=2048; the pencil buffers stay a\n"
+        "small slice of the slab-dominated footprint, so large B is cheap —\n"
+        "consistent with the paper pushing B until concurrency saturates.");
+  }
+  return 0;
+}

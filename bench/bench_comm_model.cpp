@@ -1,0 +1,105 @@
+// Communication results (Fig 1 quantified; Eqns 1, 2, 6; §2.1):
+//   1. Modelled per-node communication time — traditional 3D FFT
+//      (2 all-to-alls, Eqn 1) vs our single sparse exchange (Eqn 6),
+//      swept over N and P.
+//   2. Executed byte/round counts on the simulated cluster — the
+//      distributed slab FFT baseline vs the low-communication pipeline on
+//      the same problem, same ranks.
+//   3. The §2.1 communication-fraction shift: ~49% of runtime on CPUs
+//      becomes ~97% when compute accelerates 43× (GPUs) with the network
+//      unchanged.
+#include <cstdio>
+
+#include "baseline/distributed_fft.hpp"
+#include "comm/cost_model.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+
+int main() {
+  using namespace lc;
+
+  // --- 1. Model sweep (Eqn 1 vs Eqn 6) -----------------------------------
+  {
+    TextTable table("Eqn 1 vs Eqn 6 — modelled comm time per node (s)");
+    table.header({"N", "P", "k", "r", "T_FFT (Eqn 1)", "T_ours (Eqn 6)",
+                  "Reduction"});
+    const double beta_link = 1e9;  // points/s per link
+    for (const i64 n : {512, 1024, 2048, 4096}) {
+      for (const int p : {16, 256, 4096}) {
+        const i64 k = 32;
+        const double r = 8.0;
+        const double t_fft = comm::traditional_fft_comm_time(n, p, beta_link);
+        const double t_ours = comm::lowcomm_comm_time(n, k, r, p, beta_link);
+        table.row({std::to_string(n), std::to_string(p), std::to_string(k),
+                   format_fixed(r, 0), format_fixed(t_fft, 4),
+                   format_fixed(t_ours, 4),
+                   format_fixed(t_fft / t_ours, 1) + "x"});
+      }
+    }
+    table.print();
+    std::puts("Shape check: ours wins by ~2 r^3 at large N (Eqn 6 < Eqn 1).\n");
+  }
+
+  // --- 2. Executed transfers on the simulated cluster ---------------------
+  {
+    TextTable table("Executed bytes/rounds — slab FFT vs low-comm (SimCluster)");
+    table.header({"N", "ranks", "method", "bytes sent", "rounds", "messages"});
+    for (const i64 n : {32, 64}) {
+      const int ranks = 4;
+      const Grid3 g = Grid3::cube(n);
+      auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+      RealField input(g);
+      SplitMix64 rng(static_cast<std::uint64_t>(n));
+      for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+      comm::SimCluster cluster(ranks);
+      (void)baseline::distributed_fft_convolve(cluster, input, kernel);
+      table.row({std::to_string(n), std::to_string(ranks), "slab FFT (trad.)",
+                 std::to_string(cluster.stats().bytes_sent.load()),
+                 std::to_string(cluster.stats().collective_rounds.load()),
+                 std::to_string(cluster.stats().messages.load())});
+
+      comm::SimCluster cluster2(ranks);
+      core::LowCommParams params;
+      params.subdomain = n / 2;
+      params.far_rate = 4;
+      params.batch = 512;
+      (void)core::distributed_lowcomm_convolve(cluster2, input, g, kernel,
+                                               params);
+      table.row({std::to_string(n), std::to_string(ranks), "low-comm (ours)",
+                 std::to_string(cluster2.stats().bytes_sent.load()),
+                 std::to_string(cluster2.stats().collective_rounds.load()),
+                 std::to_string(cluster2.stats().messages.load())});
+    }
+    table.print();
+    std::puts(
+        "Shape check: traditional needs 2 all-to-all rounds moving the whole\n"
+        "spectrum twice; ours needs 1 round of compressed samples. Tiny grids\n"
+        "(N=32) have nothing to compress; the crossover appears by N=64.\n");
+  }
+
+  // --- 3. §2.1 communication fractions ------------------------------------
+  {
+    TextTable table("§2.1 — communication fraction, CPU vs 43x-accelerated");
+    table.header({"platform", "comm fraction", "paper"});
+    const i64 n = 1024;
+    const int p = 4;
+    const double beta_link = 2.2e9;
+    const double cpu_rate = 1.15e9;  // grid points/s of FFT compute
+    const double comm_time = comm::traditional_fft_comm_time(n, p, beta_link);
+    const double points = static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n) / p;
+    const double cpu = comm::comm_fraction(comm_time, points, cpu_rate);
+    const double gpu = comm::comm_fraction(comm_time, points, 43.0 * cpu_rate);
+    table.row({"4 CPU nodes", format_fixed(cpu * 100.0, 1) + "%", "49.45%"});
+    table.row({"4 GPU nodes (43x compute)", format_fixed(gpu * 100.0, 1) + "%",
+               "97%"});
+    table.print();
+    std::puts(
+        "Shape check: accelerating compute 43x with the same network pushes\n"
+        "the communication share from ~half to ~all of the runtime.");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Micro-benchmarks of the FFT substrate: 1D radix-2 vs Bluestein, real vs
+// complex transforms, 3D sweeps, strided pencils, and the input/output
+// pruning ablation (full transform + subsample vs direct evaluation).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/pruned.hpp"
+#include "fft/real_fft.hpp"
+
+namespace {
+
+using namespace lc;
+using namespace lc::fft;
+
+std::vector<cplx> random_signal(std::size_t n) {
+  SplitMix64 rng(n);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+void BM_Fft1D_Pow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n);
+  for (auto _ : state) {
+    plan.forward(data, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft1D_Pow2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Fft1D_Bluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n);
+  for (auto _ : state) {
+    plan.forward(data, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft1D_Bluestein)->Arg(255)->Arg(1000)->Arg(4095);
+
+void BM_RealFft_Forward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  SplitMix64 rng(n);
+  std::vector<double> in(n);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  std::vector<cplx> out(plan.spectrum_size());
+  for (auto _ : state) {
+    plan.forward(in, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RealFft_Forward)->Arg(1024)->Arg(4096);
+
+void BM_ComplexAsReal_Forward(benchmark::State& state) {
+  // Baseline for BM_RealFft_Forward: same data through the complex path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n);
+  for (auto& v : data) v = cplx{v.real(), 0.0};
+  for (auto _ : state) {
+    auto copy = data;
+    plan.forward(copy, ws);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_ComplexAsReal_Forward)->Arg(1024)->Arg(4096);
+
+void BM_Fft3D_Forward(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Grid3 g = Grid3::cube(n);
+  Fft3D plan(g);
+  ComplexField f(g);
+  SplitMix64 rng(7);
+  for (auto& v : f.span()) v = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    plan.forward(f);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.size()));
+}
+BENCHMARK(BM_Fft3D_Forward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_InputPrunedForward(benchmark::State& state) {
+  // k nonzero inputs in an N-point transform (the slab z-stage inner op).
+  const std::size_t n = 1024;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  const auto chunk = random_signal(k);
+  std::vector<cplx> out(n);
+  for (auto _ : state) {
+    input_pruned_forward(plan, chunk, n / 2, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_InputPrunedForward)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OutputPruned_Direct(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto wanted_count = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  const auto spec = random_signal(n);
+  std::vector<std::size_t> wanted(wanted_count);
+  for (std::size_t i = 0; i < wanted_count; ++i) {
+    wanted[i] = i * (n / wanted_count);
+  }
+  std::vector<cplx> out(wanted_count);
+  for (auto _ : state) {
+    output_pruned_inverse(plan, spec, wanted, out, ws, PruneStrategy::kDirect);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OutputPruned_Direct)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OutputPruned_FullTransform(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto wanted_count = static_cast<std::size_t>(state.range(0));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  const auto spec = random_signal(n);
+  std::vector<std::size_t> wanted(wanted_count);
+  for (std::size_t i = 0; i < wanted_count; ++i) {
+    wanted[i] = i * (n / wanted_count);
+  }
+  std::vector<cplx> out(wanted_count);
+  for (auto _ : state) {
+    output_pruned_inverse(plan, spec, wanted, out, ws,
+                          PruneStrategy::kFullTransform);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OutputPruned_FullTransform)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StridedPencils(benchmark::State& state) {
+  // The z-pencil access pattern: stride = N², one plane of pencils.
+  const std::size_t n = 64;
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n * n * n);
+  for (auto _ : state) {
+    plan.forward_strided(data.data(), n * n, 1, n * n, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_StridedPencils);
+
+}  // namespace
+
+BENCHMARK_MAIN();

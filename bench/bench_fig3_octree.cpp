@@ -1,0 +1,81 @@
+// Figure 3: octree-based sampling pattern for a 32³ sub-domain inside a
+// 128³ grid (the paper's exact configuration). The figure shows dense
+// sampling on/near the sub-domain, downsampling by 2 in a band of width
+// k/2, sparser sampling further out, and dense sampling again at the grid
+// boundary. We regenerate it as a radial table: per distance band, the
+// retained-sample density.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sampling/compressed_field.hpp"
+#include "sampling/octree.hpp"
+
+int main() {
+  using namespace lc;
+  using namespace lc::sampling;
+
+  const Grid3 g = Grid3::cube(128);
+  const i64 k = 32;
+  const Box3 dom = Box3::cube_at({48, 48, 48}, k);  // centred sub-domain
+  const SamplingPolicy policy = SamplingPolicy::paper_default(
+      k, /*far_rate=*/16, /*boundary_band=*/2);
+  const Octree tree(g, dom, policy);
+
+  // Count grid points and retained samples per Chebyshev-distance band.
+  struct Band {
+    i64 lo, hi;
+    const char* label;
+  };
+  const Band bands[] = {{0, 0, "sub-domain (dist 0)"},
+                        {1, 2, "dense halo (1..2)"},
+                        {3, k / 2, "r=2 band (3..k/2)"},
+                        {k / 2 + 1, 4 * k, "r=8 band (k/2+1..4k)"},
+                        {4 * k + 1, 1 << 20, "far (r=16)"}};
+
+  std::vector<std::size_t> points(5, 0), samples(5, 0), boundary_pts(1, 0),
+      boundary_samples(1, 0);
+  for (const auto& cell : tree.cells()) {
+    for_each_point(cell.box(), [&](const Index3& p) {
+      const bool on_lattice = (p.x - cell.corner.x) % cell.rate == 0 &&
+                              (p.y - cell.corner.y) % cell.rate == 0 &&
+                              (p.z - cell.corner.z) % cell.rate == 0;
+      if (boundary_distance(p, g) < 2) {
+        boundary_pts[0]++;
+        if (on_lattice) boundary_samples[0]++;
+        return;
+      }
+      const i64 d = torus_chebyshev_distance(dom, p, g);
+      for (std::size_t b = 0; b < 5; ++b) {
+        if (d >= bands[b].lo && d <= bands[b].hi) {
+          points[b]++;
+          if (on_lattice) samples[b]++;
+          break;
+        }
+      }
+    });
+  }
+
+  TextTable table("Fig 3 — adaptive sampling pattern (32^3 sub-domain in 128^3)");
+  table.header({"Region", "Grid points", "Samples", "Density", "Eff. rate"});
+  auto emit = [&](const char* label, std::size_t pts, std::size_t smp) {
+    if (pts == 0) return;
+    const double density = static_cast<double>(smp) / static_cast<double>(pts);
+    table.row({label, std::to_string(pts), std::to_string(smp),
+               format_fixed(density * 100.0, 1) + "%",
+               format_fixed(std::cbrt(1.0 / density), 1)});
+  };
+  for (std::size_t b = 0; b < 5; ++b) emit(bands[b].label, points[b], samples[b]);
+  emit("grid boundary shell (dense)", boundary_pts[0], boundary_samples[0]);
+  table.print();
+
+  std::printf(
+      "\nOctree: %zu cells, %zu samples of %zu grid points, compression "
+      "ratio %.1fx, metadata %zu bytes (5 int32/cell).\n",
+      tree.cells().size(), tree.total_samples(), g.size(),
+      tree.compression_ratio(),
+      tree.cells().size() * 5 * sizeof(std::int32_t));
+  std::puts(
+      "Shape check (paper Fig 3): full resolution on the sub-domain, rate 2 "
+      "within k/2,\nsparser further out, dense again at the boundary shell.");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// MASSIF end-to-end (paper §2.2, §3.2): per-iteration cost and
+// communication volume of Algorithm 1 (dense FFTs) vs Algorithm 2
+// (low-communication) on a two-phase composite, plus convergence and the
+// accuracy of the compressed solve — the "convolution error up to 3% did
+// not largely impact convergence" claim (§5.3).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "massif/solver.hpp"
+
+int main() {
+  using namespace lc;
+  using namespace lc::massif;
+
+  const auto soft = Phase::isotropic("matrix", 100.0, 0.3);
+  const auto stiff = Phase::isotropic("inclusion", 200.0, 0.3);
+  Sym2 macro;
+  macro.at(0, 0) = 0.01;
+
+  TextTable table("MASSIF Γ∗σ application — dense vs low-communication");
+  table.header({"N", "backend", "k", "r/halo", "time (ms)", "rel. error",
+                "exchange bytes", "dense all-to-all bytes"});
+  for (const i64 n : {32, 64}) {
+    const Grid3 g = Grid3::cube(n);
+    const auto micro =
+        Microstructure::random_spheres(g, soft, stiff, 0.2, 4.0, 7);
+    const Lame ref = micro.reference_medium();
+
+    SymTensorField eps(g);
+    eps.fill(macro);
+    SymTensorField sig(g);
+    for_each_point(Box3::of(g), [&](const Index3& p) {
+      sig.set(p, micro.stiffness_at(p).ddot(eps.at(p)));
+    });
+
+    DenseGreenBackend dense(g, ref);
+    SymTensorField want(g);
+    Stopwatch sw_dense;
+    dense.apply(sig, want);
+    const double dense_ms = sw_dense.millis();
+    // Traditional distributed FFT moves the whole 6-component spectrum
+    // through two all-to-alls per transform direction pair.
+    const std::size_t dense_bytes = 6 * 2 * sizeof(double) * g.size() * 2;
+    table.row({std::to_string(n), "dense (Alg. 1)", "-", "-",
+               format_fixed(dense_ms, 1), "0", "-",
+               std::to_string(dense_bytes)});
+
+    LowCommGreenBackend::Params params;
+    params.subdomain = n / 2;
+    params.far_rate = 4;
+    params.dense_halo = 4;
+    params.batch = 512;
+    LowCommGreenBackend lowcomm(g, ref, params);
+    SymTensorField got(g);
+    Stopwatch sw;
+    lowcomm.apply(sig, got);
+    const double ms = sw.millis();
+    table.row({std::to_string(n), "low-comm (Alg. 2)",
+               std::to_string(params.subdomain), "4/4", format_fixed(ms, 1),
+               format_fixed(got.relative_error_to(want) * 100.0, 2) + "%",
+               std::to_string(lowcomm.exchange_bytes_per_apply()),
+               std::to_string(dense_bytes)});
+  }
+  table.print();
+  std::puts(
+      "\nShape check: the compressed exchange undercuts the dense all-to-all\n"
+      "volume once the grid is large enough to have a far field (N >= 64);\n"
+      "CPU wall-clock favours the dense path at these tiny sizes — the\n"
+      "method trades local recompute for communication, which pays off at\n"
+      "cluster scale (see bench_comm_model).");
+
+  const Grid3 g = Grid3::cube(32);
+  const auto micro =
+      Microstructure::random_spheres(g, soft, stiff, 0.2, 4.0, 7);
+  const Lame ref = micro.reference_medium();
+
+  // Full fixed-point convergence comparison.
+  auto dense_backend = std::make_shared<DenseGreenBackend>(g, ref);
+  MassifSolver ref_solver(micro, macro, dense_backend, {5e-3, 30});
+  const auto ref_report = ref_solver.solve();
+
+  LowCommGreenBackend::Params params;
+  params.subdomain = 16;
+  params.far_rate = 4;
+  params.dense_halo = 4;
+  params.batch = 512;
+  auto lc_backend = std::make_shared<LowCommGreenBackend>(g, ref, params);
+  MassifSolver lc_solver(micro, macro, lc_backend, {5e-3, 30});
+  const auto lc_report = lc_solver.solve();
+
+  std::printf(
+      "\nFixed-point solve (tol 5e-3): dense %d iters (converged=%d), "
+      "low-comm %d iters (converged=%d), strain error %.2f%%.\n",
+      ref_report.iterations, ref_report.converged, lc_report.iterations,
+      lc_report.converged,
+      lc_solver.strain().relative_error_to(ref_solver.strain()) * 100.0);
+  std::puts(
+      "Shape check (§5.3): compressed convolution (~3% error) converges in a\n"
+      "comparable iteration count to the dense reference.");
+
+  // --- Scheme ablation (extension): basic vs conjugate-gradient ----------
+  {
+    const Phase very_stiff = Phase::isotropic("stiff20x", 2000.0, 0.3);
+    const auto hc =
+        Microstructure::cubic_inclusion(g, soft, very_stiff, 16);
+    const Lame href = hc.reference_medium();
+    auto b1 = std::make_shared<DenseGreenBackend>(g, href);
+    MassifSolver basic(hc, macro, b1, {1e-5, 400});
+    const auto basic_report = basic.solve();
+    auto b2 = std::make_shared<DenseGreenBackend>(g, href);
+    MassifSolver cg(hc, macro, b2,
+                    {1e-8, 400, Scheme::kConjugateGradient, href});
+    const auto cg_report = cg.solve();
+    std::printf(
+        "\nScheme ablation at contrast 20 (extension beyond the paper):\n"
+        "  basic scheme: %d iterations (strain-change criterion)\n"
+        "  CG on Lippmann-Schwinger: %d iterations (true residual 1e-8)\n",
+        basic_report.iterations, cg_report.iterations);
+    std::puts(
+        "Both use one Green convolution per iteration, so the CG scheme\n"
+        "multiplies every communication saving by its iteration saving.");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks of the sampling substrate: octree construction,
+// metadata codec, compression (gather) and reconstruction (interpolate).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sampling/compressed_field.hpp"
+#include "sampling/octree.hpp"
+
+namespace {
+
+using namespace lc;
+using namespace lc::sampling;
+
+void BM_OctreeBuild(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const Grid3 g = Grid3::cube(n);
+  const i64 k = n / 4;
+  const Box3 dom = Box3::cube_at({k, k, k}, k);
+  const SamplingPolicy policy = SamplingPolicy::paper_default(k, 16, 2);
+  for (auto _ : state) {
+    Octree tree(g, dom, policy);
+    benchmark::DoNotOptimize(tree.total_samples());
+  }
+}
+BENCHMARK(BM_OctreeBuild)->Arg(64)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MetadataCodec(benchmark::State& state) {
+  const Grid3 g = Grid3::cube(128);
+  const Octree tree(g, Box3::cube_at({32, 32, 32}, 32),
+                    SamplingPolicy::paper_default(32, 16, 2));
+  for (auto _ : state) {
+    const auto meta = tree.encode_metadata();
+    const Octree back = Octree::decode_metadata(g, meta, tree.total_samples());
+    benchmark::DoNotOptimize(back.cells().data());
+  }
+}
+BENCHMARK(BM_MetadataCodec);
+
+void BM_Compress(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const Grid3 g = Grid3::cube(n);
+  auto tree = std::make_shared<Octree>(
+      g, Box3::cube_at({n / 4, n / 4, n / 4}, n / 4),
+      SamplingPolicy::paper_default(n / 4, 16, 2));
+  RealField f(g);
+  SplitMix64 rng(1);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    auto c = CompressedField::compress(f, tree);
+    benchmark::DoNotOptimize(c.samples().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.size()));
+}
+BENCHMARK(BM_Compress)->Arg(64)->Arg(128);
+
+void BM_Reconstruct(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const Grid3 g = Grid3::cube(n);
+  auto tree = std::make_shared<Octree>(
+      g, Box3::cube_at({n / 4, n / 4, n / 4}, n / 4),
+      SamplingPolicy::paper_default(n / 4, 16, 2));
+  RealField f(g);
+  SplitMix64 rng(2);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  const CompressedField c = CompressedField::compress(f, tree);
+  for (auto _ : state) {
+    RealField out = c.reconstruct();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.size()));
+}
+BENCHMARK(BM_Reconstruct)->Arg(64)->Arg(128);
+
+void BM_ReconstructRegion(benchmark::State& state) {
+  // The accumulation inner op: reconstruct one k³ region.
+  const i64 n = 128;
+  const i64 k = 32;
+  const Grid3 g = Grid3::cube(n);
+  auto tree = std::make_shared<Octree>(
+      g, Box3::cube_at({32, 32, 32}, k),
+      SamplingPolicy::paper_default(k, 16, 2));
+  RealField f(g);
+  SplitMix64 rng(3);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  const CompressedField c = CompressedField::compress(f, tree);
+  const Box3 region = Box3::cube_at({64, 64, 64}, k);
+  RealField out(region.extents());
+  for (auto _ : state) {
+    out.fill(0.0);
+    c.reconstruct_add(out, region);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ReconstructRegion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 3: runtime of our compressed local method vs the traditional dense
+// FFT convolution, with L2 approximation error, for a single sub-domain
+// convolution (the paper's POC measures exactly this: one k³ sub-domain in
+// an N³ grid, k = 32, r swept).
+//
+// Substitution note: the paper's columns are GPU (ours) vs CPU FFTW; we
+// run both sides on the CPU, so absolute speedups are smaller than the
+// paper's 4–24× (which include the GPU's raw advantage). The *shape* to
+// reproduce: speedup grows with N (the dense method does O(N³ log N) work
+// on the whole grid, ours O(N²·k + N²·planes) on slabs), and the
+// approximation error stays ≤ 3%.
+//
+// Default sizes are laptop-scale (N ≤ 256); pass --full to add N = 512.
+#include <cstdio>
+#include <cstring>
+
+#include "baseline/dense.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/hyperparams.hpp"
+#include "core/pipeline.hpp"
+#include "fft/convolution.hpp"
+#include "green/gaussian.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lc;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  TextTable table(
+      "Table 3 — our method vs dense FFT, single sub-domain convolution");
+  table.header({"N", "k", "r", "Ours (ms)", "Dense (ms)", "Speedup",
+                "L2 error", "Paper speedup"});
+
+  struct Row {
+    i64 n;
+    i64 k;
+    i64 r;
+    const char* paper;
+  };
+  std::vector<Row> rows = {{64, 32, 4, "-"},
+                           {128, 32, 4, "4.17"},
+                           {256, 32, 4, "11.91"},
+                           {256, 32, 8, "-"}};
+  if (full) {
+    rows.push_back({512, 32, 4, "19.24"});
+    rows.push_back({512, 32, 8, "21.46"});
+  }
+
+  for (const auto& row : rows) {
+    const Grid3 g = Grid3::cube(row.n);
+    auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+
+    // One k³ sub-domain, centred (paper: sub-domain convolution POC).
+    const Index3 corner{row.n / 2 - row.k / 2, row.n / 2 - row.k / 2,
+                        row.n / 2 - row.k / 2};
+    const Box3 dom = Box3::cube_at(corner, row.k);
+    RealField chunk(Grid3::cube(row.k));
+    SplitMix64 rng(static_cast<std::uint64_t>(row.n * 100 + row.r));
+    for (auto& v : chunk.span()) v = rng.uniform(-1.0, 1.0);
+
+    // Ours: compressed local pipeline.
+    auto tree = std::make_shared<sampling::Octree>(
+        g, dom,
+        sampling::SamplingPolicy::paper_default(row.k, row.r, 0,
+                                                /*dense_halo=*/3));
+    core::LocalConvolverConfig cfg;
+    cfg.batch = core::recommended_batch(row.n);
+    core::LocalConvolver ours(g, kernel, cfg);
+    Stopwatch sw_ours;
+    const auto compressed = ours.convolve_subdomain(chunk, corner, tree);
+    const double ours_ms = sw_ours.millis();
+
+    // Dense: full-grid FFT convolution of the zero-embedded chunk.
+    RealField padded(g, 0.0);
+    padded.insert(chunk, corner);
+    Stopwatch sw_dense;
+    const RealField want = baseline::dense_convolve(padded, *kernel);
+    const double dense_ms = sw_dense.millis();
+
+    const RealField got = compressed.reconstruct();
+    const double err = relative_l2_error(got.span(), want.span());
+
+    table.row({std::to_string(row.n), std::to_string(row.k),
+               std::to_string(row.r), format_fixed(ours_ms, 2),
+               format_fixed(dense_ms, 2), format_fixed(dense_ms / ours_ms, 2),
+               format_fixed(err * 100.0, 2) + "%", row.paper});
+  }
+  table.print();
+  std::puts(
+      "\nShape check: speedup grows with N; error <= 3% (paper §5.3)."
+      "\nAbsolute paper speedups (4-24x) include the GPU/CPU hardware gap;"
+      "\nhere both sides run on the same CPU. Pass --full for N = 512.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Distributed convolution on the simulated cluster (paper Fig 1): the
+// traditional slab-decomposed FFT with two all-to-all transposes versus
+// the low-communication pipeline with a single sparse exchange — same
+// problem, same ranks, exact byte/round/message accounting, plus the α-β
+// cost model's view of both at cluster scale.
+//
+//   build/examples/distributed_convolution
+#include <cstdio>
+
+#include "baseline/distributed_fft.hpp"
+#include "comm/cost_model.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+
+int main() {
+  using namespace lc;
+
+  const Grid3 grid = Grid3::cube(64);
+  const int ranks = 4;
+  auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  RealField input(grid);
+  SplitMix64 rng(99);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  // --- Traditional: slab FFT with two all-to-all transposes ---------------
+  comm::SimCluster trad(ranks);
+  const RealField ref = baseline::distributed_fft_convolve(trad, input, kernel);
+  std::printf("traditional slab FFT  (%d ranks): %zu bytes, %zu rounds, %zu "
+              "messages\n",
+              ranks, trad.stats().bytes_sent.load(),
+              trad.stats().collective_rounds.load(),
+              trad.stats().messages.load());
+
+  // --- Ours: local convolution + one personalised sparse exchange ---------
+  core::LowCommParams params;
+  params.subdomain = 32;
+  params.far_rate = 4;
+  params.dense_halo = 3;
+  params.batch = 512;
+  comm::SimCluster ours(ranks);
+  const RealField out =
+      core::distributed_lowcomm_convolve(ours, input, grid, kernel, params);
+  std::printf("low-communication     (%d ranks): %zu bytes, %zu rounds, %zu "
+              "messages\n",
+              ranks, ours.stats().bytes_sent.load(),
+              ours.stats().collective_rounds.load(),
+              ours.stats().messages.load());
+
+  const double err = relative_l2_error(out.span(), ref.span());
+  std::printf("result disagreement: %.3f%% (compression-induced)\n",
+              err * 100.0);
+
+  // --- The same comparison at the paper's cluster scale (α-β model) -------
+  std::puts("\nmodelled per-node comm time at cluster scale (Eqns 1 vs 6):");
+  const double beta_link = 1e9;  // points/s
+  for (const i64 n : {1024, 2048, 4096}) {
+    const double t_fft =
+        comm::traditional_fft_comm_time(n, 1024, beta_link);
+    const double t_ours = comm::lowcomm_comm_time(n, 32, 8.0, 1024, beta_link);
+    std::printf("  N=%5lld, P=1024: T_FFT %.4fs  T_ours %.6fs  (%.0fx)\n",
+                static_cast<long long>(n), t_fft, t_ours, t_fft / t_ours);
+  }
+  return err < 0.05 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// MASSIF simulation (paper §2.2): stress/strain homogenisation of a
+// two-phase composite microstructure under a prescribed macroscopic
+// strain, solved by the Moulinec–Suquet fixed-point scheme with both
+// convolution backends:
+//
+//   - Algorithm 1 (dense full-grid FFTs), and
+//   - Algorithm 2 (the paper's low-communication compressed pipeline),
+//
+// then compares convergence, the homogenised stiffness, and the strain
+// fields.
+//
+//   build/examples/massif_simulation
+#include <cstdio>
+
+#include "massif/solver.hpp"
+
+int main() {
+  using namespace lc;
+  using namespace lc::massif;
+
+  // A stiff-sphere composite at ~20% volume fraction.
+  const Grid3 grid = Grid3::cube(32);
+  const Phase matrix = Phase::isotropic("epoxy", 100.0, 0.35);
+  const Phase inclusion = Phase::isotropic("glass", 400.0, 0.22);
+  const auto micro =
+      Microstructure::random_spheres(grid, matrix, inclusion, 0.2, 4.0, 11);
+  const auto fractions = micro.volume_fractions();
+  std::printf("microstructure: %lld^3, %s %.1f%% / %s %.1f%%\n",
+              static_cast<long long>(grid.nx), matrix.name.c_str(),
+              fractions[0] * 100.0, inclusion.name.c_str(),
+              fractions[1] * 100.0);
+
+  // Uniaxial macroscopic strain E_xx = 1%.
+  Sym2 macro;
+  macro.at(0, 0) = 0.01;
+  const Lame ref = micro.reference_medium();
+
+  // --- Algorithm 1: dense reference ---------------------------------------
+  auto dense = std::make_shared<DenseGreenBackend>(grid, ref);
+  MassifSolver ref_solver(micro, macro, dense, {5e-3, 50});
+  const SolveReport ref_report = ref_solver.solve();
+  std::printf("\nAlgorithm 1 (dense):    %2d iterations, converged=%d\n",
+              ref_report.iterations, ref_report.converged);
+  for (std::size_t i = 0; i < ref_report.strain_change_history.size(); ++i) {
+    std::printf("  iter %2zu  ||Δε||/||E|| = %.3e\n", i + 1,
+                ref_report.strain_change_history[i]);
+  }
+
+  // --- Algorithm 2: low-communication -------------------------------------
+  LowCommGreenBackend::Params params;
+  params.subdomain = 16;
+  params.far_rate = 4;
+  params.dense_halo = 4;
+  params.batch = 512;
+  auto lowcomm = std::make_shared<LowCommGreenBackend>(grid, ref, params);
+  MassifSolver lc_solver(micro, macro, lowcomm, {5e-3, 50});
+  const SolveReport lc_report = lc_solver.solve();
+  std::printf("\nAlgorithm 2 (low-comm): %2d iterations, converged=%d\n",
+              lc_report.iterations, lc_report.converged);
+  std::printf("  per-iteration exchange: %zu bytes (compressed samples)\n",
+              lowcomm->exchange_bytes_per_apply());
+
+  // --- Compare the physics -------------------------------------------------
+  const Sym2 s_ref = ref_solver.average_stress();
+  const Sym2 s_lc = lc_solver.average_stress();
+  std::printf("\nhomogenised response <σ_xx>/E_xx: dense %.2f, low-comm %.2f\n",
+              s_ref.at(0, 0) / 0.01, s_lc.at(0, 0) / 0.01);
+  std::printf("matrix C_1111 = %.2f, inclusion C_1111 = %.2f (bounds)\n",
+              matrix.stiffness.at(0, 0, 0, 0),
+              inclusion.stiffness.at(0, 0, 0, 0));
+  const double err = lc_solver.strain().relative_error_to(ref_solver.strain());
+  std::printf("strain field disagreement: %.2f%%\n", err * 100.0);
+  return (ref_report.converged && lc_report.converged && err < 0.05) ? 0 : 1;
+}

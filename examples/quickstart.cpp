@@ -1,0 +1,61 @@
+// Quickstart: convolve a 64³ field with a rapidly decaying kernel using
+// the low-communication pipeline, and compare with the dense reference.
+//
+//   build/examples/quickstart
+//
+// Walks through the library's core objects: a kernel spectrum evaluated on
+// the fly, the hyperparameters (sub-domain size k, downsampling rate r,
+// dense halo), the one-call convolution API, and the accuracy /
+// compression / communication numbers it reports.
+#include <cstdio>
+
+#include "baseline/dense.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+
+int main() {
+  using namespace lc;
+
+  // 1. The problem: an N³ grid and an input field.
+  const Grid3 grid = Grid3::cube(64);
+  RealField input(grid);
+  SplitMix64 rng(2024);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  // 2. The kernel: a sharp Gaussian — the paper's stand-in for the MASSIF
+  //    Green's function (rapidly decaying, real spectrum). Evaluated
+  //    per-frequency on the fly; no N³ kernel array is ever built.
+  auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+
+  // 3. Hyperparameters (paper §5.4): k³ sub-domains, rate-banded octree
+  //    sampling with a dense halo around each sub-domain.
+  core::LowCommParams params;
+  params.subdomain = 16;  // k
+  params.far_rate = 8;    // coarsest downsampling rate
+  params.dense_halo = 3;  // full-resolution skin beyond each sub-domain
+
+  // 4. Convolve. Sub-domains are processed locally, one at a time, each
+  //    result stored compressed; accumulation interpolates and sums them.
+  const core::LowCommConvolution engine(grid, kernel, params);
+  const core::LowCommResult result = engine.convolve(input);
+
+  // 5. Compare against the traditional dense FFT convolution.
+  const RealField reference = baseline::dense_convolve(input, *kernel);
+  const double err =
+      relative_l2_error(result.output.span(), reference.span());
+
+  std::printf("grid                : %lld^3\n",
+              static_cast<long long>(grid.nx));
+  std::printf("sub-domains         : %zu of %lld^3\n",
+              engine.decomposition().count(),
+              static_cast<long long>(params.subdomain));
+  std::printf("retained samples    : %zu (compression %.1fx)\n",
+              result.compressed_samples, result.compression_ratio);
+  std::printf("exchanged bytes     : %zu (vs %zu dense per-domain)\n",
+              result.exchanged_bytes,
+              engine.decomposition().count() * grid.size() * sizeof(double));
+  std::printf("relative L2 error   : %.3f%% (paper tolerance: 3%%)\n",
+              err * 100.0);
+  return err < 0.03 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "baseline/dense.hpp"
+
+#include "common/check.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/real_fft3d.hpp"
+
+namespace lc::baseline {
+
+namespace {
+
+/// RAII device registration (duplicated from core to keep baseline
+/// independent of the method library it is compared against).
+class Reservation {
+ public:
+  Reservation(device::DeviceContext* ctx, std::size_t bytes)
+      : ctx_(ctx), bytes_(bytes) {
+    if (ctx_ != nullptr) ctx_->register_alloc(bytes_);
+  }
+  ~Reservation() {
+    if (ctx_ != nullptr) ctx_->register_free(bytes_);
+  }
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+
+ private:
+  device::DeviceContext* ctx_;
+  std::size_t bytes_;
+};
+
+}  // namespace
+
+RealField dense_convolve(const RealField& input,
+                         const green::KernelSpectrum& kernel,
+                         ThreadPool* pool, device::DeviceContext* device) {
+  const Grid3& g = input.grid();
+  const std::size_t n3 = g.size();
+  // Dense working set: the complex field (in-place transform) plus a
+  // transform-sized plan workspace.
+  Reservation field_mem(device, n3 * sizeof(fft::cplx));
+  Reservation workspace_mem(device, n3 * sizeof(fft::cplx));
+
+  fft::Fft3D plan(g, pool);
+  ComplexField spec = fft::forward_spectrum(input, plan);
+  auto s = spec.span();
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    s[g.index(p)] *= kernel.eval(p, g);
+  });
+  return fft::inverse_real(std::move(spec), plan);
+}
+
+RealField dense_convolve_r2c(const RealField& input,
+                             const green::KernelSpectrum& kernel,
+                             ThreadPool* pool,
+                             device::DeviceContext* device) {
+  const Grid3& g = input.grid();
+  fft::RealFft3D plan(g, pool);
+  const std::size_t spec_elems = plan.spectrum_grid().size();
+  // Half spectrum + workspace of the same size.
+  Reservation field_mem(device, spec_elems * sizeof(fft::cplx));
+  Reservation workspace_mem(device, spec_elems * sizeof(fft::cplx));
+
+  ComplexField spec = plan.forward(input);
+  // Multiply on the half bins; bins with jx <= nx/2 carry the whole
+  // Hermitian content (the kernel of a real field has a Hermitian
+  // spectrum, so the product stays Hermitian).
+  for_each_point(Box3::of(plan.spectrum_grid()), [&](const Index3& p) {
+    spec(p) *= kernel.eval(p, g);
+  });
+  return plan.inverse(std::move(spec));
+}
+
+std::size_t dense_convolve_bytes(i64 n) {
+  const auto n3 = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(n);
+  return 3 * sizeof(double) * n3;
+}
+
+i64 dense_max_grid(const device::DeviceSpec& spec) {
+  i64 best = 0;
+  for (i64 n = 2; n <= (i64{1} << 20); n *= 2) {
+    if (dense_convolve_bytes(n) <= spec.capacity_bytes) {
+      best = n;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace lc::baseline

@@ -1,0 +1,45 @@
+// The "traditional FFT" baseline (paper Fig 1a, Table 3's FFTW column):
+// a dense single-node FFT convolution that materialises the full N³
+// spectrum and result. Correct and simple — and exactly the memory/
+// communication behaviour the low-communication method is designed to
+// avoid.
+#pragma once
+
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "device/device.hpp"
+#include "green/kernel.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::baseline {
+
+/// Dense FFT convolution: forward 3D FFT of the input, pointwise multiply
+/// with the kernel spectrum (evaluated on the fly), inverse 3D FFT. When
+/// `device` is given, the dense complex working set and a transform-sized
+/// workspace are registered against it — the traditional method's memory
+/// footprint for Table 1/Table 2 comparisons.
+[[nodiscard]] RealField dense_convolve(
+    const RealField& input, const green::KernelSpectrum& kernel,
+    ThreadPool* pool = &ThreadPool::global(),
+    device::DeviceContext* device = nullptr);
+
+/// Dense convolution through the r2c half-spectrum path: same result as
+/// dense_convolve for real-spectrum kernels, ~2x less transform work and
+/// roughly half the spectrum memory. Preferred in production; the complex
+/// path remains as the validation oracle.
+[[nodiscard]] RealField dense_convolve_r2c(
+    const RealField& input, const green::KernelSpectrum& kernel,
+    ThreadPool* pool = &ThreadPool::global(),
+    device::DeviceContext* device = nullptr);
+
+/// Analytic device footprint of the dense method: real input + half-
+/// spectrum in/out + transform workspace, ≈ 3 × 8 N³ bytes. Used to decide
+/// the largest N the "traditional cuFFT" fits on a device (the paper's
+/// 1024³-on-32GB limit).
+[[nodiscard]] std::size_t dense_convolve_bytes(i64 n);
+
+/// Largest power-of-two N whose dense convolution fits `spec`.
+[[nodiscard]] i64 dense_max_grid(const device::DeviceSpec& spec);
+
+}  // namespace lc::baseline

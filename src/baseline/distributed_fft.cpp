@@ -1,0 +1,192 @@
+#include "baseline/distributed_fft.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+#include "fft/fft1d.hpp"
+
+namespace lc::baseline {
+
+using fft::cplx;
+
+RealField distributed_fft_convolve(
+    comm::SimCluster& cluster, const RealField& input,
+    std::shared_ptr<const green::KernelSpectrum> kernel) {
+  const Grid3 g = input.grid();
+  const int workers = cluster.size();
+  LC_CHECK_ARG(g.nx == g.ny && g.ny == g.nz, "cubic grid required");
+  LC_CHECK_ARG(g.nz % workers == 0, "rank count must divide the grid side");
+  LC_CHECK_ARG(kernel != nullptr, "null kernel");
+
+  const i64 n = g.nx;
+  const auto un = static_cast<std::size_t>(n);
+  const i64 zs = n / workers;  // z planes per rank (slab decomposition)
+  const i64 ys = n / workers;  // y rows per rank (pencil decomposition)
+
+  RealField assembled(g, 0.0);
+  std::mutex assemble_mutex;
+
+  cluster.run([&](comm::Rank& rank) {
+    const int r = rank.id();
+    const i64 z0 = static_cast<i64>(r) * zs;
+    const i64 y0 = static_cast<i64>(r) * ys;
+    fft::Fft1D plan(un);
+    fft::FftWorkspace ws;
+
+    // --- Forward 2D (xy) on my z-slab -----------------------------------
+    // Slab layout: (x, y, z_local), x fastest.
+    std::vector<cplx> slab(un * un * static_cast<std::size_t>(zs));
+    for (i64 zl = 0; zl < zs; ++zl) {
+      for (i64 y = 0; y < n; ++y) {
+        const double* src = &input(0, y, z0 + zl);
+        cplx* dst = slab.data() +
+                    (static_cast<std::size_t>(zl) * un +
+                     static_cast<std::size_t>(y)) *
+                        un;
+        for (i64 x = 0; x < n; ++x) dst[x] = cplx{src[x], 0.0};
+      }
+    }
+    for (i64 zl = 0; zl < zs; ++zl) {
+      cplx* plane = slab.data() + static_cast<std::size_t>(zl) * un * un;
+      plan.forward_strided(plane, 1, un, un, ws);   // x rows
+      plan.forward_strided(plane, un, 1, un, ws);   // y pencils
+    }
+
+    // --- All-to-all transpose #1: z-slabs → y-pencil slabs --------------
+    auto pack = [&](const std::vector<cplx>& data, i64 zplanes) {
+      // Message to rank s: my z planes, s's y range, all x.
+      std::vector<std::vector<double>> out(static_cast<std::size_t>(workers));
+      for (int s = 0; s < workers; ++s) {
+        auto& buf = out[static_cast<std::size_t>(s)];
+        buf.reserve(2 * un * static_cast<std::size_t>(ys) *
+                    static_cast<std::size_t>(zplanes));
+        const i64 sy0 = static_cast<i64>(s) * ys;
+        for (i64 zl = 0; zl < zplanes; ++zl) {
+          for (i64 yl = 0; yl < ys; ++yl) {
+            const cplx* row = data.data() +
+                              (static_cast<std::size_t>(zl) * un +
+                               static_cast<std::size_t>(sy0 + yl)) *
+                                  un;
+            for (i64 x = 0; x < n; ++x) {
+              buf.push_back(row[x].real());
+              buf.push_back(row[x].imag());
+            }
+          }
+        }
+      }
+      return out;
+    };
+
+    auto incoming = rank.all_to_all(pack(slab, zs));
+
+    // Pencil slab layout: (x, y_local, z), x fastest, z slowest.
+    std::vector<cplx> pencil(un * static_cast<std::size_t>(ys) * un);
+    auto unpack_pencil = [&](const std::vector<std::vector<double>>& in) {
+      for (int s = 0; s < workers; ++s) {
+        const auto& buf = in[static_cast<std::size_t>(s)];
+        std::size_t idx = 0;
+        const i64 sz0 = static_cast<i64>(s) * zs;
+        for (i64 zl = 0; zl < zs; ++zl) {
+          for (i64 yl = 0; yl < ys; ++yl) {
+            cplx* row = pencil.data() +
+                        (static_cast<std::size_t>(sz0 + zl) *
+                             static_cast<std::size_t>(ys) +
+                         static_cast<std::size_t>(yl)) *
+                            un;
+            for (i64 x = 0; x < n; ++x) {
+              row[x] = cplx{buf[idx], buf[idx + 1]};
+              idx += 2;
+            }
+          }
+        }
+      }
+    };
+    unpack_pencil(incoming);
+
+    // --- z transform, kernel multiply, inverse z -------------------------
+    const std::size_t zstride = un * static_cast<std::size_t>(ys);
+    for (i64 yl = 0; yl < ys; ++yl) {
+      cplx* base = pencil.data() + static_cast<std::size_t>(yl) * un;
+      plan.forward_strided(base, zstride, 1, un, ws);
+    }
+    for (i64 z = 0; z < n; ++z) {
+      for (i64 yl = 0; yl < ys; ++yl) {
+        cplx* row = pencil.data() +
+                    (static_cast<std::size_t>(z) * static_cast<std::size_t>(ys) +
+                     static_cast<std::size_t>(yl)) *
+                        un;
+        for (i64 x = 0; x < n; ++x) {
+          row[x] *= kernel->eval({x, y0 + yl, z}, g);
+        }
+      }
+    }
+    for (i64 yl = 0; yl < ys; ++yl) {
+      cplx* base = pencil.data() + static_cast<std::size_t>(yl) * un;
+      plan.inverse_strided(base, zstride, 1, un, ws);
+    }
+
+    // --- All-to-all transpose #2: back to z-slabs ------------------------
+    // Message to rank s: s's z planes, my y range, all x.
+    std::vector<std::vector<double>> out2(static_cast<std::size_t>(workers));
+    for (int s = 0; s < workers; ++s) {
+      auto& buf = out2[static_cast<std::size_t>(s)];
+      buf.reserve(2 * un * static_cast<std::size_t>(ys) *
+                  static_cast<std::size_t>(zs));
+      const i64 sz0 = static_cast<i64>(s) * zs;
+      for (i64 zl = 0; zl < zs; ++zl) {
+        for (i64 yl = 0; yl < ys; ++yl) {
+          const cplx* row = pencil.data() +
+                            (static_cast<std::size_t>(sz0 + zl) *
+                                 static_cast<std::size_t>(ys) +
+                             static_cast<std::size_t>(yl)) *
+                                un;
+          for (i64 x = 0; x < n; ++x) {
+            buf.push_back(row[x].real());
+            buf.push_back(row[x].imag());
+          }
+        }
+      }
+    }
+    auto incoming2 = rank.all_to_all(out2);
+    for (int s = 0; s < workers; ++s) {
+      const auto& buf = incoming2[static_cast<std::size_t>(s)];
+      std::size_t idx = 0;
+      const i64 sy0 = static_cast<i64>(s) * ys;
+      for (i64 zl = 0; zl < zs; ++zl) {
+        for (i64 yl = 0; yl < ys; ++yl) {
+          cplx* row = slab.data() +
+                      (static_cast<std::size_t>(zl) * un +
+                       static_cast<std::size_t>(sy0 + yl)) *
+                          un;
+          for (i64 x = 0; x < n; ++x) {
+            row[x] = cplx{buf[idx], buf[idx + 1]};
+            idx += 2;
+          }
+        }
+      }
+    }
+
+    // --- Inverse 2D (xy) and write my planes into the shared result ------
+    for (i64 zl = 0; zl < zs; ++zl) {
+      cplx* plane = slab.data() + static_cast<std::size_t>(zl) * un * un;
+      plan.inverse_strided(plane, un, 1, un, ws);  // y
+      plan.inverse_strided(plane, 1, un, un, ws);  // x
+    }
+    {
+      std::lock_guard lock(assemble_mutex);
+      for (i64 zl = 0; zl < zs; ++zl) {
+        for (i64 y = 0; y < n; ++y) {
+          const cplx* row = slab.data() +
+                            (static_cast<std::size_t>(zl) * un +
+                             static_cast<std::size_t>(y)) *
+                                un;
+          double* dst = &assembled(0, y, z0 + zl);
+          for (i64 x = 0; x < n; ++x) dst[x] = row[x].real();
+        }
+      }
+    }
+  });
+  return assembled;
+}
+
+}  // namespace lc::baseline

@@ -1,0 +1,26 @@
+// Traditional distributed FFT convolution (paper Fig 1a): slab-decomposed
+// 3D FFT with an all-to-all transpose between the 2D (xy) and 1D (z)
+// stages, pointwise kernel multiply, and the mirrored inverse path — two
+// all-to-all rounds per transform direction pair, exactly the communication
+// pattern whose cost Eqn 1 models and the low-communication method avoids.
+#pragma once
+
+#include <memory>
+
+#include "comm/sim_cluster.hpp"
+#include "green/kernel.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::baseline {
+
+/// Distributed circular convolution of `input` with `kernel` over the
+/// ranks of `cluster`. The grid's z extent must be divisible by the rank
+/// count. Byte/message/round counts accumulate in cluster.stats(); the
+/// assembled result is returned for verification (assembly itself uses
+/// shared memory, not the counted network, mirroring the in-place
+/// distributed output of a real run).
+[[nodiscard]] RealField distributed_fft_convolve(
+    comm::SimCluster& cluster, const RealField& input,
+    std::shared_ptr<const green::KernelSpectrum> kernel);
+
+}  // namespace lc::baseline

@@ -1,0 +1,44 @@
+#include "comm/cost_model.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::comm {
+
+double traditional_fft_comm_time(i64 n, int workers,
+                                 double beta_link_points_per_sec) {
+  LC_CHECK_ARG(n >= 1 && workers >= 1, "bad problem shape");
+  LC_CHECK_ARG(beta_link_points_per_sec > 0.0, "bandwidth must be positive");
+  const double n3 = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  return 2.0 * n3 /
+         (static_cast<double>(workers) * beta_link_points_per_sec);
+}
+
+double lowcomm_exchange_points(i64 n, i64 k, double r) {
+  LC_CHECK_ARG(n >= k && k >= 1, "sub-domain larger than grid");
+  LC_CHECK_ARG(r >= 1.0, "downsampling rate must be >= 1");
+  const double n3 = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  const double k3 = static_cast<double>(k) * static_cast<double>(k) *
+                    static_cast<double>(k);
+  return k3 + (n3 - k3) / (r * r * r);
+}
+
+double lowcomm_comm_time(i64 n, i64 k, double r, int workers,
+                         double beta_link_points_per_sec) {
+  LC_CHECK_ARG(workers >= 1, "need at least one worker");
+  LC_CHECK_ARG(beta_link_points_per_sec > 0.0, "bandwidth must be positive");
+  return lowcomm_exchange_points(n, k, r) /
+         (static_cast<double>(workers) * beta_link_points_per_sec);
+}
+
+double comm_fraction(double comm_time, double compute_points,
+                     double compute_rate) {
+  LC_CHECK_ARG(comm_time >= 0.0 && compute_points >= 0.0, "negative cost");
+  LC_CHECK_ARG(compute_rate > 0.0, "compute rate must be positive");
+  const double compute_time = compute_points / compute_rate;
+  const double total = comm_time + compute_time;
+  return total == 0.0 ? 0.0 : comm_time / total;
+}
+
+}  // namespace lc::comm

@@ -1,0 +1,55 @@
+// Communication cost models from the paper (§2.1 and §5.1).
+//
+//   Eqn 2 (α-β model):       t(m)    = α + β · m
+//   Eqn 1 (traditional FFT): T_FFT   = 2 · N³ / (P · β_link)
+//   Eqn 6 (our method):      T_ours  = (k³ + (N³ − k³)/r³) / (P · β_link)
+//
+// β_link is expressed as points per second per link (the paper divides a
+// point count by P·β_link, so β_link carries points/s units); the α-β model
+// uses seconds and bytes.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/grid.hpp"
+
+namespace lc::comm {
+
+/// Latency-bandwidth point-to-point model (paper Eqn 2).
+struct AlphaBetaModel {
+  double alpha = 1e-6;   ///< per-message latency [s]
+  double beta = 1e-10;   ///< per-byte transfer cost [s/byte]
+
+  /// Time to move one m-byte message.
+  [[nodiscard]] double message_time(std::size_t bytes) const noexcept {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+
+  /// Time for `rounds` rounds each moving `bytes_per_round` per worker.
+  [[nodiscard]] double rounds_time(int rounds,
+                                   std::size_t bytes_per_round) const noexcept {
+    return static_cast<double>(rounds) * message_time(bytes_per_round);
+  }
+};
+
+/// Eqn 1: per-node communication time of the traditional distributed 3D
+/// FFT, with two all-to-all stages each moving ~N³/P points.
+[[nodiscard]] double traditional_fft_comm_time(i64 n, int workers,
+                                               double beta_link_points_per_sec);
+
+/// Number of points our method exchanges in its single accumulation round:
+/// the dense k³ sub-domain plus the downsampled exterior (N³ − k³)/r³.
+[[nodiscard]] double lowcomm_exchange_points(i64 n, i64 k, double r);
+
+/// Eqn 6: per-node communication time of the low-communication method.
+[[nodiscard]] double lowcomm_comm_time(i64 n, i64 k, double r, int workers,
+                                       double beta_link_points_per_sec);
+
+/// Communication fraction of a run that computes `compute_points` grid
+/// points at `compute_rate` points/s and spends `comm_time` communicating.
+/// Reproduces the §2.1 claim shape (49% CPU / 97% GPU comm share when the
+/// compute rate is accelerated 43×).
+[[nodiscard]] double comm_fraction(double comm_time, double compute_points,
+                                   double compute_rate);
+
+}  // namespace lc::comm

@@ -1,0 +1,143 @@
+#include "comm/sim_cluster.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace lc::comm {
+
+int Rank::size() const noexcept { return cluster_->size(); }
+
+void Rank::send(int dst, std::span<const double> data) {
+  LC_CHECK_ARG(dst >= 0 && dst < cluster_->size(), "bad destination rank");
+  auto& ch = cluster_->channel(id_, dst);
+  {
+    std::lock_guard lock(ch.mutex);
+    ch.queue.emplace_back(data.begin(), data.end());
+  }
+  ch.available.notify_one();
+  const std::size_t bytes = data.size() * sizeof(double);
+  cluster_->stats_.bytes_sent += bytes;
+  cluster_->stats_.messages += 1;
+  cluster_->stats_.modeled_nanos += static_cast<std::int64_t>(
+      cluster_->link_.message_time(bytes) * 1e9);
+}
+
+std::vector<double> Rank::recv(int src) {
+  LC_CHECK_ARG(src >= 0 && src < cluster_->size(), "bad source rank");
+  auto& ch = cluster_->channel(src, id_);
+  std::unique_lock lock(ch.mutex);
+  ch.available.wait(lock, [&] { return !ch.queue.empty(); });
+  std::vector<double> out = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return out;
+}
+
+std::vector<std::vector<double>> Rank::all_to_all(
+    const std::vector<std::vector<double>>& outgoing) {
+  const int p = size();
+  LC_CHECK_ARG(static_cast<int>(outgoing.size()) == p,
+               "all_to_all needs one buffer per rank");
+  // Self-delivery does not touch the network; remote buffers do.
+  for (int d = 0; d < p; ++d) {
+    if (d != id_) send(d, outgoing[static_cast<std::size_t>(d)]);
+  }
+  std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(id_)] =
+      outgoing[static_cast<std::size_t>(id_)];
+  for (int s = 0; s < p; ++s) {
+    if (s != id_) incoming[static_cast<std::size_t>(s)] = recv(s);
+  }
+  if (id_ == 0) cluster_->stats_.collective_rounds += 1;
+  barrier();
+  return incoming;
+}
+
+std::vector<std::vector<double>> Rank::all_gather(std::span<const double> mine) {
+  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(size()));
+  for (auto& buf : outgoing) buf.assign(mine.begin(), mine.end());
+  // all_gather = personalised all-to-all with identical payloads; reuse it
+  // (rounds are counted once inside).
+  return all_to_all(outgoing);
+}
+
+double Rank::all_reduce_sum(double value) {
+  auto& c = *cluster_;
+  {
+    std::lock_guard lock(c.reduce_mutex_);
+    if (c.reduce_count_ == 0) c.reduce_acc_ = 0.0;
+    c.reduce_acc_ += value;
+    c.reduce_count_ += 1;
+    if (c.reduce_count_ == c.size()) {
+      c.reduce_result_ = c.reduce_acc_;
+      c.reduce_count_ = 0;
+    }
+  }
+  barrier();
+  const double result = c.reduce_result_;
+  if (id_ == 0) {
+    c.stats_.collective_rounds += 1;
+    // A tree reduction moves one double per rank (up and down).
+    c.stats_.bytes_sent += 2 * sizeof(double) * static_cast<std::size_t>(size());
+    c.stats_.messages += 2 * static_cast<std::size_t>(size());
+  }
+  barrier();
+  return result;
+}
+
+void Rank::barrier() { cluster_->barrier_wait(); }
+
+SimCluster::SimCluster(int ranks, AlphaBetaModel link)
+    : ranks_(ranks), link_(link) {
+  LC_CHECK_ARG(ranks >= 1, "cluster needs at least one rank");
+  channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks) *
+                                   static_cast<std::size_t>(ranks));
+}
+
+void SimCluster::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_waiting_ == ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+}
+
+void SimCluster::run(const std::function<void(Rank&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Rank rank(*this, r);
+      try {
+        body(rank);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Release peers that might be stuck in a barrier: advance the
+        // generation so waiting ranks resume (their results are discarded
+        // because the run rethrows).
+        std::lock_guard block(barrier_mutex_);
+        barrier_waiting_ = 0;
+        ++barrier_generation_;
+        barrier_cv_.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Drain any leftovers so the next run starts clean after an error.
+  if (first_error) {
+    for (auto& ch : channels_) {
+      std::lock_guard lock(ch.mutex);
+      ch.queue.clear();
+    }
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace lc::comm

@@ -1,0 +1,49 @@
+// Cache-line / SIMD aligned allocation for numeric buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace lc {
+
+/// Allocation alignment used for all large numeric buffers (bytes).
+/// 64 matches both AVX-512 vectors and common cache-line size, so adjacent
+/// per-thread buffers never share a line (avoids false sharing).
+inline constexpr std::size_t kAlignment = 64;
+
+/// Standard-conforming allocator returning `kAlignment`-aligned storage.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    const std::size_t bytes = ((n * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector with SIMD/cache-line aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace lc

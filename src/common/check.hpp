@@ -1,0 +1,83 @@
+// Error-handling primitives shared by every lowcomm3d module.
+//
+// The library reports contract violations and unsatisfiable requests by
+// throwing exceptions derived from `lc::Error`; hot inner loops use
+// `LC_ASSERT`, which compiles away in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lc {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad sizes, null spans, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A resource limit was exceeded (e.g. simulated device memory capacity).
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "LC_CHECK_ARG") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace lc
+
+/// Validate a caller-supplied argument; throws lc::InvalidArgument on failure.
+/// Always on, including release builds: these guard the public API surface.
+#define LC_CHECK_ARG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::lc::detail::throw_check_failure("LC_CHECK_ARG", #expr, __FILE__,     \
+                                        __LINE__, (msg));                    \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant; throws lc::InternalError on failure.
+#define LC_CHECK(expr, msg)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::lc::detail::throw_check_failure("LC_CHECK", #expr, __FILE__,         \
+                                        __LINE__, (msg));                    \
+    }                                                                        \
+  } while (false)
+
+/// Debug-only assertion for hot paths; disappears under NDEBUG.
+#ifdef NDEBUG
+#define LC_ASSERT(expr) ((void)0)
+#else
+#define LC_ASSERT(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::lc::detail::throw_check_failure("LC_ASSERT", #expr, __FILE__,        \
+                                        __LINE__, std::string());            \
+    }                                                                        \
+  } while (false)
+#endif

@@ -1,0 +1,117 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace lc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    LC_CHECK(!stopping_, "submit() on a stopping pool");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_blocks(begin, end,
+                      [&body](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) body(i);
+                      });
+}
+
+void ThreadPool::parallel_for_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::min(n, size());
+  if (blocks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> remaining{blocks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([&, lo, hi] {
+      try {
+        if (lo < hi) body(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace lc

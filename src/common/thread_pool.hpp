@@ -1,0 +1,65 @@
+// A small work-stealing-free thread pool with a blocking parallel_for.
+//
+// Used for shared-memory parallelism inside one simulated "worker node"
+// (batched pencil FFTs, pointwise kernels). Distributed parallelism across
+// nodes is modelled separately by comm::SimCluster.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lc {
+
+/// Fixed-size thread pool. Tasks are `void()` callables; `parallel_for`
+/// partitions an index range into contiguous blocks, one per worker.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 → hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run `body(i)` for i in [begin, end), partitioned into contiguous
+  /// blocks across the pool. Blocks until complete. Exceptions thrown by
+  /// `body` are rethrown on the calling thread (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands each worker a [blockBegin, blockEnd)
+  /// range, letting the body amortise per-block setup.
+  void parallel_for_blocks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide default pool, sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace lc

@@ -1,0 +1,29 @@
+#include "core/accumulator.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::core {
+
+RealField accumulate_region(
+    const std::vector<sampling::CompressedField>& contributions,
+    const Box3& region, sampling::Interpolation interp) {
+  LC_CHECK_ARG(!region.empty(), "empty accumulation region");
+  RealField out(region.extents(), 0.0);
+  for (const auto& c : contributions) {
+    c.reconstruct_add(out, region, interp);
+  }
+  return out;
+}
+
+RealField accumulate_full(
+    const std::vector<sampling::CompressedField>& contributions,
+    const Grid3& grid, sampling::Interpolation interp) {
+  RealField out(grid, 0.0);
+  for (const auto& c : contributions) {
+    LC_CHECK_ARG(c.octree().grid() == grid, "contribution grid mismatch");
+    c.reconstruct_add(out, Box3::of(grid), interp);
+  }
+  return out;
+}
+
+}  // namespace lc::core

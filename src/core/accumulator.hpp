@@ -1,0 +1,28 @@
+// Accumulation of sub-domain results (paper §3.2 step 4, Algorithm 2 line 6):
+// every sub-domain's compressed convolution contribution is interpolated
+// onto each target region and summed. By linearity of convolution the sum
+// over all sub-domain contributions equals the full convolution.
+#pragma once
+
+#include <vector>
+
+#include "sampling/compressed_field.hpp"
+
+namespace lc::core {
+
+/// Sum the interpolated reconstructions of `contributions` over `region`,
+/// returning a tight field covering the region.
+[[nodiscard]] RealField accumulate_region(
+    const std::vector<sampling::CompressedField>& contributions,
+    const Box3& region,
+    sampling::Interpolation interp = sampling::Interpolation::kTrilinear);
+
+/// Assemble a full dense grid by accumulating every contribution everywhere
+/// (test/verification path; a production run only accumulates the regions
+/// it owns).
+[[nodiscard]] RealField accumulate_full(
+    const std::vector<sampling::CompressedField>& contributions,
+    const Grid3& grid,
+    sampling::Interpolation interp = sampling::Interpolation::kTrilinear);
+
+}  // namespace lc::core

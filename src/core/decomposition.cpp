@@ -1,0 +1,36 @@
+#include "core/decomposition.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::core {
+
+DomainDecomposition::DomainDecomposition(const Grid3& grid, i64 k)
+    : grid_(grid), k_(k) {
+  LC_CHECK_ARG(grid.nx == grid.ny && grid.ny == grid.nz,
+               "decomposition requires a cubic grid");
+  LC_CHECK_ARG(k >= 1 && k <= grid.nx, "sub-domain size outside grid");
+  LC_CHECK_ARG(grid.nx % k == 0, "grid side must be divisible by k");
+  const i64 per_axis = grid.nx / k;
+  boxes_.reserve(static_cast<std::size_t>(per_axis * per_axis * per_axis));
+  for (i64 z = 0; z < per_axis; ++z) {
+    for (i64 y = 0; y < per_axis; ++y) {
+      for (i64 x = 0; x < per_axis; ++x) {
+        boxes_.push_back(Box3::cube_at({x * k, y * k, z * k}, k));
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> DomainDecomposition::assigned_to(int rank,
+                                                          int workers) const {
+  LC_CHECK_ARG(workers >= 1 && rank >= 0 && rank < workers,
+               "bad rank/worker count");
+  std::vector<std::size_t> mine;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < boxes_.size();
+       i += static_cast<std::size_t>(workers)) {
+    mine.push_back(i);
+  }
+  return mine;
+}
+
+}  // namespace lc::core

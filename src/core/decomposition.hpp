@@ -1,0 +1,38 @@
+// Domain decomposition (paper §3.2 step 1): the N³ grid is split into k³
+// sub-domains; each worker processes one or more sub-domains locally.
+#pragma once
+
+#include <vector>
+
+#include "tensor/grid.hpp"
+
+namespace lc::core {
+
+/// Regular volumetric decomposition of a cubic grid into cubic sub-domains.
+class DomainDecomposition {
+ public:
+  /// Split `grid` (cubic, side divisible by k) into k³ boxes, ordered
+  /// x-fastest.
+  DomainDecomposition(const Grid3& grid, i64 k);
+
+  [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+  [[nodiscard]] i64 subdomain_size() const noexcept { return k_; }
+  [[nodiscard]] std::size_t count() const noexcept { return boxes_.size(); }
+  [[nodiscard]] const std::vector<Box3>& subdomains() const noexcept {
+    return boxes_;
+  }
+  [[nodiscard]] const Box3& subdomain(std::size_t i) const {
+    return boxes_.at(i);
+  }
+
+  /// Round-robin assignment of sub-domain indices to `workers` ranks.
+  [[nodiscard]] std::vector<std::size_t> assigned_to(int rank,
+                                                     int workers) const;
+
+ private:
+  Grid3 grid_;
+  i64 k_;
+  std::vector<Box3> boxes_;
+};
+
+}  // namespace lc::core

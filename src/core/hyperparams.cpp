@@ -1,0 +1,31 @@
+#include "core/hyperparams.hpp"
+
+#include <algorithm>
+
+#include "fft/fft1d.hpp"
+
+namespace lc::core {
+
+std::size_t recommended_batch(i64 n) {
+  const auto b = static_cast<std::size_t>(std::max<i64>(n, 1));
+  return std::clamp<std::size_t>(fft::next_pow2(b), 512, 32768);
+}
+
+i64 recommended_far_rate(i64 n, i64 k) {
+  LC_CHECK_ARG(k >= 1 && n >= k, "bad (n, k)");
+  const auto ratio = static_cast<i64>(
+      fft::next_pow2(static_cast<std::size_t>(std::max<i64>(n / k, 2))));
+  return std::clamp<i64>(ratio, 2, 32);
+}
+
+HyperparamAdvice select_hyperparams(i64 n, const device::DeviceSpec& spec) {
+  HyperparamAdvice advice;
+  advice.batch = recommended_batch(n);
+  advice.subdomain = device::max_allowable_k(n, spec, advice.batch);
+  LC_CHECK_ARG(advice.subdomain >= 1,
+               "problem does not fit the device at any sub-domain size");
+  advice.far_rate = recommended_far_rate(n, advice.subdomain);
+  return advice;
+}
+
+}  // namespace lc::core

@@ -1,0 +1,62 @@
+// SpectralOperator: the per-frequency-bin operation applied between the
+// forward and inverse transforms of the local pipeline.
+//
+// A scalar convolution multiplies one channel by a kernel spectrum value;
+// MASSIF's convolution step contracts the rank-4 Green operator Γ̂ with the
+// six Voigt components of the stress spectrum (paper Algorithm 2 line 4).
+// Both are "apply a small dense operator to the C channel values at bin ξ",
+// which is exactly this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "green/kernel.hpp"
+
+namespace lc::core {
+
+using fft::cplx;
+
+/// In-place per-bin operator on a fixed number of channels.
+class SpectralOperator {
+ public:
+  virtual ~SpectralOperator() = default;
+
+  /// Number of simultaneous channels (1 for scalar convolution, 6 for
+  /// symmetric-tensor fields in Voigt form).
+  [[nodiscard]] virtual std::size_t channels() const = 0;
+
+  /// Transform the channel values at DFT bin `bin` of grid `g` in place.
+  virtual void apply(const Index3& bin, const Grid3& g,
+                     std::span<cplx> values) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapts a scalar KernelSpectrum to the operator interface (1 channel).
+class ScalarKernelOperator final : public SpectralOperator {
+ public:
+  explicit ScalarKernelOperator(
+      std::shared_ptr<const green::KernelSpectrum> kernel)
+      : kernel_(std::move(kernel)) {
+    LC_CHECK_ARG(kernel_ != nullptr, "null kernel");
+  }
+
+  [[nodiscard]] std::size_t channels() const override { return 1; }
+
+  void apply(const Index3& bin, const Grid3& g,
+             std::span<cplx> values) const override {
+    values[0] *= kernel_->eval(bin, g);
+  }
+
+  [[nodiscard]] std::string name() const override { return kernel_->name(); }
+
+  [[nodiscard]] const green::KernelSpectrum& kernel() const noexcept {
+    return *kernel_;
+  }
+
+ private:
+  std::shared_ptr<const green::KernelSpectrum> kernel_;
+};
+
+}  // namespace lc::core

@@ -1,0 +1,127 @@
+// Simulated accelerator device (substitutes for the paper's V100 GPUs).
+//
+// Tables 2 and 4 of the paper are *memory-capacity* results: which (N, k)
+// combinations fit on a 16 GB / 32 GB device, and how far actual usage
+// (with cuFFT's internal temporaries) exceeds the analytic estimate. Both
+// depend only on allocation sizes, which DeviceContext tracks exactly: every
+// buffer the local pipeline uses is drawn from the device, allocations
+// beyond capacity throw ResourceExhausted, and a high-water mark records
+// peak usage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+
+namespace lc::device {
+
+/// Static description of a device.
+struct DeviceSpec {
+  std::string name;
+  std::size_t capacity_bytes = 0;
+
+  /// The paper's evaluation devices (§4 "Hardware setup").
+  static DeviceSpec v100_16gb() {
+    return {"NVIDIA V100 16GB", 16ull << 30};
+  }
+  static DeviceSpec v100_32gb() {
+    return {"NVIDIA V100 32GB (DGX-2)", 32ull << 30};
+  }
+  /// Unlimited device for correctness runs where capacity is irrelevant.
+  static DeviceSpec unlimited() {
+    return {"host", static_cast<std::size_t>(-1)};
+  }
+};
+
+/// Byte-tracked, capacity-limited allocation context.
+class DeviceContext {
+ public:
+  explicit DeviceContext(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_; }
+  void reset_peak() noexcept { peak_ = used_; }
+
+  /// Register an allocation; throws ResourceExhausted beyond capacity.
+  void register_alloc(std::size_t bytes) {
+    if (bytes > spec_.capacity_bytes - used_ || used_ > spec_.capacity_bytes) {
+      throw ResourceExhausted(
+          "device '" + spec_.name + "' out of memory: requested " +
+          std::to_string(bytes) + " B with " + std::to_string(used_) +
+          " B in use of " + std::to_string(spec_.capacity_bytes) + " B");
+    }
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+
+  void register_free(std::size_t bytes) noexcept {
+    LC_ASSERT(bytes <= used_);
+    used_ -= bytes;
+  }
+
+ private:
+  DeviceSpec spec_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII device buffer of T. Movable, non-copyable; returns its bytes to the
+/// context on destruction.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceContext& ctx, std::size_t count)
+      : ctx_(&ctx), bytes_(count * sizeof(T)) {
+    ctx_->register_alloc(bytes_);
+    data_.resize(count);
+  }
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : ctx_(o.ctx_), bytes_(o.bytes_), data_(std::move(o.data_)) {
+    o.ctx_ = nullptr;
+    o.bytes_ = 0;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      ctx_ = o.ctx_;
+      bytes_ = o.bytes_;
+      data_ = std::move(o.data_);
+      o.ctx_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<T> span() noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+ private:
+  void release() noexcept {
+    if (ctx_ != nullptr) {
+      ctx_->register_free(bytes_);
+      ctx_ = nullptr;
+    }
+  }
+
+  DeviceContext* ctx_ = nullptr;
+  std::size_t bytes_ = 0;
+  AlignedVector<T> data_;
+};
+
+}  // namespace lc::device

@@ -1,0 +1,34 @@
+#include "fft/convolution.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+void pointwise_multiply(ComplexField& a, const ComplexField& b) {
+  LC_CHECK_ARG(a.grid() == b.grid(), "spectrum grids differ");
+  auto pa = a.span();
+  const auto pb = b.span();
+  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] *= pb[i];
+}
+
+RealField fft_circular_convolve(const RealField& a, const RealField& b,
+                                const Fft3D& plan) {
+  LC_CHECK_ARG(a.grid() == b.grid(), "convolution grids differ");
+  LC_CHECK_ARG(a.grid() == plan.grid(), "plan grid mismatch");
+  ComplexField ha = forward_spectrum(a, plan);
+  const ComplexField hb = forward_spectrum(b, plan);
+  pointwise_multiply(ha, hb);
+  return inverse_real(std::move(ha), plan);
+}
+
+RealField convolve_with_spectrum(const RealField& input,
+                                 const ComplexField& kernel_hat,
+                                 const Fft3D& plan) {
+  LC_CHECK_ARG(input.grid() == kernel_hat.grid(), "kernel grid mismatch");
+  LC_CHECK_ARG(input.grid() == plan.grid(), "plan grid mismatch");
+  ComplexField h = forward_spectrum(input, plan);
+  pointwise_multiply(h, kernel_hat);
+  return inverse_real(std::move(h), plan);
+}
+
+}  // namespace lc::fft

@@ -1,0 +1,25 @@
+// Dense FFT-based circular convolution on full 3D grids. Serves as the
+// single-node reference implementation ("traditional FFT" in the paper) that
+// the low-communication pipeline is validated and benchmarked against.
+#pragma once
+
+#include "fft/fft3d.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::fft {
+
+/// Pointwise multiply spectra: a *= b.
+void pointwise_multiply(ComplexField& a, const ComplexField& b);
+
+/// Dense circular convolution of two real fields via three full 3D FFTs.
+[[nodiscard]] RealField fft_circular_convolve(const RealField& a,
+                                              const RealField& b,
+                                              const Fft3D& plan);
+
+/// Dense circular convolution of a real field with a precomputed kernel
+/// spectrum (forward FFT, pointwise multiply, inverse FFT).
+[[nodiscard]] RealField convolve_with_spectrum(const RealField& input,
+                                               const ComplexField& kernel_hat,
+                                               const Fft3D& plan);
+
+}  // namespace lc::fft

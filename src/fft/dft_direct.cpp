@@ -1,0 +1,102 @@
+#include "fft/dft_direct.hpp"
+
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+namespace {
+
+void dft_direct(std::span<const cplx> in, std::span<cplx> out, double sign,
+                bool normalize) {
+  LC_CHECK_ARG(in.size() == out.size(), "DFT size mismatch");
+  LC_CHECK_ARG(in.data() != out.data(), "direct DFT cannot run in place");
+  const std::size_t n = in.size();
+  const double w0 = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double phase = w0 * static_cast<double>((j * k) % n);
+      acc += in[j] * std::polar(1.0, phase);
+    }
+    out[k] = normalize ? acc / static_cast<double>(n) : acc;
+  }
+}
+
+}  // namespace
+
+void dft_direct_forward(std::span<const cplx> in, std::span<cplx> out) {
+  dft_direct(in, out, -1.0, false);
+}
+
+void dft_direct_inverse(std::span<const cplx> in, std::span<cplx> out) {
+  dft_direct(in, out, +1.0, true);
+}
+
+namespace {
+
+ComplexField dft3_direct(const ComplexField& in, double sign, bool normalize) {
+  const Grid3& g = in.grid();
+  ComplexField out(g);
+  const double wx = sign * 2.0 * std::numbers::pi / static_cast<double>(g.nx);
+  const double wy = sign * 2.0 * std::numbers::pi / static_cast<double>(g.ny);
+  const double wz = sign * 2.0 * std::numbers::pi / static_cast<double>(g.nz);
+  for (i64 kz = 0; kz < g.nz; ++kz) {
+    for (i64 ky = 0; ky < g.ny; ++ky) {
+      for (i64 kx = 0; kx < g.nx; ++kx) {
+        cplx acc{0.0, 0.0};
+        for (i64 z = 0; z < g.nz; ++z) {
+          for (i64 y = 0; y < g.ny; ++y) {
+            for (i64 x = 0; x < g.nx; ++x) {
+              const double phase = wx * static_cast<double>((x * kx) % g.nx) +
+                                   wy * static_cast<double>((y * ky) % g.ny) +
+                                   wz * static_cast<double>((z * kz) % g.nz);
+              acc += in(x, y, z) * std::polar(1.0, phase);
+            }
+          }
+        }
+        out(kx, ky, kz) =
+            normalize ? acc / static_cast<double>(g.size()) : acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ComplexField dft3_direct_forward(const ComplexField& in) {
+  return dft3_direct(in, -1.0, false);
+}
+
+ComplexField dft3_direct_inverse(const ComplexField& in) {
+  return dft3_direct(in, +1.0, true);
+}
+
+RealField circular_convolve_direct(const RealField& a, const RealField& b) {
+  LC_CHECK_ARG(a.grid() == b.grid(), "convolution grids differ");
+  const Grid3& g = a.grid();
+  RealField out(g);
+  for (i64 pz = 0; pz < g.nz; ++pz) {
+    for (i64 py = 0; py < g.ny; ++py) {
+      for (i64 px = 0; px < g.nx; ++px) {
+        double acc = 0.0;
+        for (i64 qz = 0; qz < g.nz; ++qz) {
+          const i64 rz = ((pz - qz) % g.nz + g.nz) % g.nz;
+          for (i64 qy = 0; qy < g.ny; ++qy) {
+            const i64 ry = ((py - qy) % g.ny + g.ny) % g.ny;
+            for (i64 qx = 0; qx < g.nx; ++qx) {
+              const i64 rx = ((px - qx) % g.nx + g.nx) % g.nx;
+              acc += a(qx, qy, qz) * b(rx, ry, rz);
+            }
+          }
+        }
+        out(px, py, pz) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lc::fft

@@ -1,0 +1,33 @@
+// O(n^2) direct discrete Fourier transforms and O(n^2) circular convolution.
+//
+// These are the correctness oracles for the fast paths: every FFT test in the
+// repository ultimately validates against these.
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "tensor/field.hpp"
+
+namespace lc::fft {
+
+using cplx = std::complex<double>;
+
+/// Direct forward DFT: X_k = sum_j x_j exp(-2πi jk/n).
+void dft_direct_forward(std::span<const cplx> in, std::span<cplx> out);
+
+/// Direct inverse DFT with 1/n normalisation.
+void dft_direct_inverse(std::span<const cplx> in, std::span<cplx> out);
+
+/// Direct 3D forward DFT on a complex field (tiny grids only; O(N^6)).
+[[nodiscard]] ComplexField dft3_direct_forward(const ComplexField& in);
+
+/// Direct 3D inverse DFT with 1/(nx·ny·nz) normalisation.
+[[nodiscard]] ComplexField dft3_direct_inverse(const ComplexField& in);
+
+/// Direct circular (periodic) convolution of two real fields on the same
+/// grid: out(p) = sum_q a(q) b(p - q mod N). O(N^6); test-scale grids only.
+[[nodiscard]] RealField circular_convolve_direct(const RealField& a,
+                                                 const RealField& b);
+
+}  // namespace lc::fft

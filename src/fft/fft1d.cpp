@@ -1,0 +1,209 @@
+#include "fft/fft1d.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+namespace {
+
+std::span<cplx> ensure(AlignedVector<cplx>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+}  // namespace
+
+std::span<cplx> FftWorkspace::buffer_a(std::size_t n) { return ensure(a_, n); }
+std::span<cplx> FftWorkspace::buffer_b(std::size_t n) { return ensure(b_, n); }
+std::span<cplx> FftWorkspace::buffer_c(std::size_t n) { return ensure(c_, n); }
+std::span<cplx> FftWorkspace::bluestein_buffer(std::size_t n) {
+  return ensure(blue_, n);
+}
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Bluestein chirp-z machinery: an n-point DFT as an m-point circular
+/// convolution, m = next_pow2(2n - 1).
+struct Fft1D::Bluestein {
+  std::size_t m = 0;
+  Fft1D fft_m;                    // radix-2 plan of length m
+  AlignedVector<cplx> chirp;      // w_j = e^{-iπ j²/n}, j in [0, n)
+  AlignedVector<cplx> kernel_hat; // FFT_m of the chirp-conjugate kernel
+
+  explicit Bluestein(std::size_t n)
+      : m(next_pow2(2 * n - 1)), fft_m(m), chirp(n), kernel_hat(m) {
+    // j² mod 2n keeps the phase argument small for large j (the chirp has
+    // period 2n in j²), preserving precision.
+    const double w0 = std::numbers::pi / static_cast<double>(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t jsq = (j * j) % (2 * n);
+      chirp[j] = std::polar(1.0, -w0 * static_cast<double>(jsq));
+    }
+    AlignedVector<cplx> b(m, cplx{0.0, 0.0});
+    b[0] = std::conj(chirp[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+      b[j] = std::conj(chirp[j]);
+      b[m - j] = std::conj(chirp[j]);
+    }
+    FftWorkspace ws;
+    fft_m.forward({b.data(), m}, ws);
+    std::copy(b.begin(), b.end(), kernel_hat.begin());
+  }
+};
+
+Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  LC_CHECK_ARG(n >= 1, "FFT length must be >= 1");
+  if (pow2_) {
+    // Bit-reversal permutation.
+    bitrev_.resize(n);
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < n) ++bits;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t r = 0;
+      for (std::size_t b = 0; b < bits; ++b) {
+        r |= ((i >> b) & 1u) << (bits - 1 - b);
+      }
+      bitrev_[i] = r;
+    }
+    twiddle_.resize(std::max<std::size_t>(n / 2, 1));
+    const double w0 = -2.0 * std::numbers::pi / static_cast<double>(n);
+    for (std::size_t j = 0; j < twiddle_.size(); ++j) {
+      twiddle_[j] = std::polar(1.0, w0 * static_cast<double>(j));
+    }
+  } else if (n > 1) {
+    blue_ = std::make_unique<Bluestein>(n);
+  }
+}
+
+Fft1D::~Fft1D() = default;
+Fft1D::Fft1D(Fft1D&&) noexcept = default;
+Fft1D& Fft1D::operator=(Fft1D&&) noexcept = default;
+
+void Fft1D::radix2(std::span<cplx> data, bool inv) const {
+  const std::size_t n = n_;
+  // Bit-reverse reorder.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative butterflies. For stage length `len`, the twiddle for butterfly
+  // j is twiddle_[j * (n / len)] (conjugated for the inverse).
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;
+    for (std::size_t blk = 0; blk < n; blk += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        cplx w = twiddle_[j * step];
+        if (inv) w = std::conj(w);
+        const cplx u = data[blk + j];
+        const cplx t = data[blk + j + half] * w;
+        data[blk + j] = u + t;
+        data[blk + j + half] = u - t;
+      }
+    }
+  }
+}
+
+void Fft1D::execute(std::span<cplx> inout, bool inv, FftWorkspace& ws) const {
+  LC_CHECK_ARG(inout.size() == n_, "FFT buffer length != plan length");
+  if (n_ == 1) {
+    return;  // identity
+  }
+  if (pow2_) {
+    radix2(inout, inv);
+  } else {
+    // Bluestein. The inverse is computed as conj(forward(conj(x)))/n, which
+    // reuses the single precomputed forward chirp kernel.
+    const Bluestein& bl = *blue_;
+    auto a = ws.bluestein_buffer(bl.m);
+    if (inv) {
+      for (std::size_t j = 0; j < n_; ++j) a[j] = std::conj(inout[j]) * bl.chirp[j];
+    } else {
+      for (std::size_t j = 0; j < n_; ++j) a[j] = inout[j] * bl.chirp[j];
+    }
+    std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(), cplx{0.0, 0.0});
+    bl.fft_m.radix2(a, /*inv=*/false);
+    for (std::size_t j = 0; j < bl.m; ++j) a[j] *= bl.kernel_hat[j];
+    bl.fft_m.radix2(a, /*inv=*/true);
+    const double inv_m = 1.0 / static_cast<double>(bl.m);
+    if (inv) {
+      const double scale = inv_m / static_cast<double>(n_);
+      for (std::size_t j = 0; j < n_; ++j) {
+        inout[j] = std::conj(a[j] * bl.chirp[j]) * scale;
+      }
+    } else {
+      for (std::size_t j = 0; j < n_; ++j) {
+        inout[j] = a[j] * bl.chirp[j] * inv_m;
+      }
+    }
+    return;
+  }
+  if (inv) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (auto& x : inout) x *= scale;
+  }
+}
+
+void Fft1D::forward(std::span<cplx> inout, FftWorkspace& ws) const {
+  execute(inout, /*inv=*/false, ws);
+}
+
+void Fft1D::inverse(std::span<cplx> inout, FftWorkspace& ws) const {
+  execute(inout, /*inv=*/true, ws);
+}
+
+void Fft1D::forward(std::span<cplx> inout) const {
+  FftWorkspace ws;
+  forward(inout, ws);
+}
+
+void Fft1D::inverse(std::span<cplx> inout) const {
+  FftWorkspace ws;
+  inverse(inout, ws);
+}
+
+namespace {
+
+template <typename Exec>
+void run_strided(std::size_t n, cplx* base, std::size_t elem_stride,
+                 std::size_t pencil_stride, std::size_t pencils,
+                 FftWorkspace& ws, Exec&& exec) {
+  if (elem_stride == 1) {
+    for (std::size_t p = 0; p < pencils; ++p) {
+      exec(std::span<cplx>(base + p * pencil_stride, n));
+    }
+    return;
+  }
+  auto scratch = ws.buffer_c(n);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    cplx* pen = base + p * pencil_stride;
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = pen[i * elem_stride];
+    exec(scratch);
+    for (std::size_t i = 0; i < n; ++i) pen[i * elem_stride] = scratch[i];
+  }
+}
+
+}  // namespace
+
+void Fft1D::forward_strided(cplx* base, std::size_t elem_stride,
+                            std::size_t pencil_stride, std::size_t pencils,
+                            FftWorkspace& ws) const {
+  run_strided(n_, base, elem_stride, pencil_stride, pencils, ws,
+              [&](std::span<cplx> s) { forward(s, ws); });
+}
+
+void Fft1D::inverse_strided(cplx* base, std::size_t elem_stride,
+                            std::size_t pencil_stride, std::size_t pencils,
+                            FftWorkspace& ws) const {
+  run_strided(n_, base, elem_stride, pencil_stride, pencils, ws,
+              [&](std::span<cplx> s) { inverse(s, ws); });
+}
+
+}  // namespace lc::fft

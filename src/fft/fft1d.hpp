@@ -1,0 +1,98 @@
+// 1D complex-to-complex FFT plans.
+//
+// Power-of-two lengths use an iterative in-place radix-2 Cooley-Tukey with a
+// precomputed twiddle table and bit-reversal permutation. Arbitrary lengths
+// use Bluestein's chirp-z algorithm on top of the radix-2 path.
+//
+// Plans are immutable after construction and safe to share across threads;
+// all mutable scratch lives in a caller-provided FftWorkspace (one per
+// thread), so parallel pencil loops never contend or allocate.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "tensor/grid.hpp"
+
+namespace lc::fft {
+
+using cplx = std::complex<double>;
+
+/// Per-thread scratch buffers for FFT execution. Grows on demand, never
+/// shrinks; reuse one instance across many transforms.
+class FftWorkspace {
+ public:
+  /// Scratch span of at least n elements (contents unspecified). Buffers
+  /// a/b/c are for callers; `bluestein_buffer` is reserved for Fft1D's
+  /// internal chirp-z path so caller scratch never aliases it.
+  [[nodiscard]] std::span<cplx> buffer_a(std::size_t n);
+  [[nodiscard]] std::span<cplx> buffer_b(std::size_t n);
+  [[nodiscard]] std::span<cplx> buffer_c(std::size_t n);
+  [[nodiscard]] std::span<cplx> bluestein_buffer(std::size_t n);
+
+ private:
+  AlignedVector<cplx> a_;
+  AlignedVector<cplx> b_;
+  AlignedVector<cplx> c_;
+  AlignedVector<cplx> blue_;
+};
+
+/// Immutable 1D FFT plan of fixed length n >= 1 (any n).
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+  ~Fft1D();
+  Fft1D(Fft1D&&) noexcept;
+  Fft1D& operator=(Fft1D&&) noexcept;
+  Fft1D(const Fft1D&) = delete;
+  Fft1D& operator=(const Fft1D&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform X_k = sum_j x_j e^{-2πi jk/n}.
+  void forward(std::span<cplx> inout, FftWorkspace& ws) const;
+
+  /// In-place inverse transform with 1/n normalisation.
+  void inverse(std::span<cplx> inout, FftWorkspace& ws) const;
+
+  /// Convenience overloads with a local workspace (allocates; avoid in hot
+  /// loops).
+  void forward(std::span<cplx> inout) const;
+  void inverse(std::span<cplx> inout) const;
+
+  /// Batched strided execution: pencil p element i lives at
+  /// base[p * pencil_stride + i * elem_stride]. Each pencil is gathered into
+  /// contiguous scratch, transformed, and scattered back. Contiguous pencils
+  /// (elem_stride == 1) are transformed in place without copying.
+  void forward_strided(cplx* base, std::size_t elem_stride,
+                       std::size_t pencil_stride, std::size_t pencils,
+                       FftWorkspace& ws) const;
+  void inverse_strided(cplx* base, std::size_t elem_stride,
+                       std::size_t pencil_stride, std::size_t pencils,
+                       FftWorkspace& ws) const;
+
+ private:
+  struct Bluestein;
+
+  void execute(std::span<cplx> inout, bool inv, FftWorkspace& ws) const;
+  void radix2(std::span<cplx> data, bool inv) const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+  std::vector<std::size_t> bitrev_;   // bit-reversal permutation (pow2 only)
+  AlignedVector<cplx> twiddle_;       // e^{-2πi j/n}, j in [0, n/2) (pow2 only)
+  std::unique_ptr<Bluestein> blue_;   // non-pow2 path
+};
+
+/// True iff n is a power of two.
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace lc::fft

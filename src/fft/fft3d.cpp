@@ -1,0 +1,116 @@
+#include "fft/fft3d.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+Fft3D::Fft3D(const Grid3& g, ThreadPool* pool)
+    : grid_(g),
+      pool_(pool),
+      fx_(static_cast<std::size_t>(g.nx)),
+      fy_(static_cast<std::size_t>(g.ny)),
+      fz_(static_cast<std::size_t>(g.nz)) {
+  LC_CHECK_ARG(g.nx >= 1 && g.ny >= 1 && g.nz >= 1, "empty FFT grid");
+}
+
+void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
+  LC_CHECK_ARG(f.grid() == grid_, "field grid != plan grid");
+  const auto nx = static_cast<std::size_t>(grid_.nx);
+  const auto ny = static_cast<std::size_t>(grid_.ny);
+  const auto nz = static_cast<std::size_t>(grid_.nz);
+  cplx* base = f.data();
+
+  // Each parallel block gets its own workspace; plans are shared read-only.
+  auto run_blocks = [&](std::size_t count,
+                        const std::function<void(std::size_t, std::size_t,
+                                                 FftWorkspace&)>& body) {
+    if (pool_ == nullptr || pool_->size() <= 1 || count <= 1) {
+      FftWorkspace ws;
+      body(0, count, ws);
+      return;
+    }
+    pool_->parallel_for_blocks(0, count, [&](std::size_t lo, std::size_t hi) {
+      FftWorkspace ws;
+      body(lo, hi, ws);
+    });
+  };
+
+  switch (axis) {
+    case 0: {  // x rows: contiguous, one row per (y, z)
+      const std::size_t rows = ny * nz;
+      run_blocks(rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+        cplx* p = base + lo * nx;
+        const std::size_t n = hi - lo;
+        if (inv) {
+          fx_.inverse_strided(p, 1, nx, n, ws);
+        } else {
+          fx_.forward_strided(p, 1, nx, n, ws);
+        }
+      });
+      break;
+    }
+    case 1: {  // y pencils: elem stride nx; one slab per z
+      run_blocks(nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+        for (std::size_t z = lo; z < hi; ++z) {
+          cplx* p = base + z * nx * ny;
+          if (inv) {
+            fy_.inverse_strided(p, nx, 1, nx, ws);
+          } else {
+            fy_.forward_strided(p, nx, 1, nx, ws);
+          }
+        }
+      });
+      break;
+    }
+    case 2: {  // z pencils: elem stride nx*ny; one pencil per (x, y)
+      const std::size_t plane = nx * ny;
+      run_blocks(plane, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+        cplx* p = base + lo;
+        if (inv) {
+          fz_.inverse_strided(p, plane, 1, hi - lo, ws);
+        } else {
+          fz_.forward_strided(p, plane, 1, hi - lo, ws);
+        }
+      });
+      break;
+    }
+    default:
+      LC_CHECK_ARG(false, "axis must be 0, 1 or 2");
+  }
+}
+
+void Fft3D::forward(ComplexField& f) const {
+  sweep(f, 0, false);
+  sweep(f, 1, false);
+  sweep(f, 2, false);
+}
+
+void Fft3D::inverse(ComplexField& f) const {
+  sweep(f, 2, true);
+  sweep(f, 1, true);
+  sweep(f, 0, true);
+}
+
+void Fft3D::transform_axis(ComplexField& f, int axis, bool inverse) const {
+  sweep(f, axis, inverse);
+}
+
+ComplexField forward_spectrum(const RealField& f, const Fft3D& plan) {
+  ComplexField c(f.grid());
+  const auto src = f.span();
+  const auto dst = c.span();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = cplx{src[i], 0.0};
+  plan.forward(c);
+  return c;
+}
+
+RealField inverse_real(ComplexField spectrum, const Fft3D& plan) {
+  plan.inverse(spectrum);
+  RealField out(spectrum.grid());
+  const auto src = spectrum.span();
+  const auto dst = out.span();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i].real();
+  return out;
+}
+
+}  // namespace lc::fft

@@ -1,0 +1,50 @@
+// 3D complex FFT as three sweeps of 1D transforms (x rows, y pencils,
+// z pencils), parallelised across a thread pool with per-thread workspaces.
+//
+// This is the building block both for the dense "traditional" baseline and
+// for the slab stages of the low-communication pipeline.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "fft/fft1d.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::fft {
+
+/// Immutable 3D FFT plan for a fixed grid. Thread-safe execution.
+class Fft3D {
+ public:
+  /// Build a plan for grid `g`; `pool` is used for intra-transform
+  /// parallelism (nullptr → single-threaded).
+  explicit Fft3D(const Grid3& g, ThreadPool* pool = &ThreadPool::global());
+
+  [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+
+  /// In-place forward 3D DFT.
+  void forward(ComplexField& f) const;
+  /// In-place inverse 3D DFT with 1/(nx·ny·nz) normalisation.
+  void inverse(ComplexField& f) const;
+
+  /// Transform along a single axis only (0 = x, 1 = y, 2 = z); used by the
+  /// staged slab pipeline which interleaves compression between axes.
+  void transform_axis(ComplexField& f, int axis, bool inverse) const;
+
+ private:
+  void sweep(ComplexField& f, int axis, bool inv) const;
+
+  Grid3 grid_;
+  ThreadPool* pool_;
+  Fft1D fx_;
+  Fft1D fy_;
+  Fft1D fz_;
+};
+
+/// Forward-transform a real field into a full complex spectrum (convenience
+/// for kernels and baselines).
+[[nodiscard]] ComplexField forward_spectrum(const RealField& f,
+                                            const Fft3D& plan);
+
+/// Inverse-transform a spectrum and take the real part.
+[[nodiscard]] RealField inverse_real(ComplexField spectrum, const Fft3D& plan);
+
+}  // namespace lc::fft

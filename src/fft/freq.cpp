@@ -1,0 +1,18 @@
+#include "fft/freq.hpp"
+
+#include <numbers>
+
+namespace lc::fft {
+
+double angular_frequency(i64 j, i64 n) noexcept {
+  return 2.0 * std::numbers::pi * static_cast<double>(signed_frequency(j, n)) /
+         static_cast<double>(n);
+}
+
+Freq3 frequency_vector(const Index3& bin, const Grid3& g) noexcept {
+  return Freq3{static_cast<double>(signed_frequency(bin.x, g.nx)),
+               static_cast<double>(signed_frequency(bin.y, g.ny)),
+               static_cast<double>(signed_frequency(bin.z, g.nz))};
+}
+
+}  // namespace lc::fft

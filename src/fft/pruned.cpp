@@ -1,0 +1,79 @@
+#include "fft/pruned.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+void input_pruned_forward(const Fft1D& plan, std::span<const cplx> nonzero,
+                          std::size_t offset, std::span<cplx> out,
+                          FftWorkspace& ws) {
+  const std::size_t n = plan.size();
+  LC_CHECK_ARG(out.size() == n, "output must hold the full spectrum");
+  LC_CHECK_ARG(offset + nonzero.size() <= n, "nonzero block exceeds length");
+  std::fill(out.begin(), out.end(), cplx{0.0, 0.0});
+  std::copy(nonzero.begin(), nonzero.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(offset));
+  plan.forward(out, ws);
+}
+
+bool direct_prune_profitable(std::size_t n, std::size_t wanted) noexcept {
+  if (n < 2) return false;
+  // Measured crossover (bench_fft_micro): each directly evaluated output
+  // costs ~n complex exponentials, an FFT costs ~n log2 n cheap butterflies
+  // — the polar() evaluations make direct ~10x more expensive per term, so
+  // direct only wins for very small output sets.
+  const double log2n = std::log2(static_cast<double>(n));
+  return static_cast<double>(wanted) < 0.5 * log2n;
+}
+
+void output_pruned_inverse(const Fft1D& plan, std::span<const cplx> spectrum,
+                           std::span<const std::size_t> wanted,
+                           std::span<cplx> out, FftWorkspace& ws,
+                           PruneStrategy strategy) {
+  const std::size_t n = plan.size();
+  LC_CHECK_ARG(spectrum.size() == n, "spectrum length != plan length");
+  LC_CHECK_ARG(out.size() >= wanted.size(), "output too small");
+
+  bool direct = false;
+  switch (strategy) {
+    case PruneStrategy::kAuto:
+      direct = direct_prune_profitable(n, wanted.size());
+      break;
+    case PruneStrategy::kDirect:
+      direct = true;
+      break;
+    case PruneStrategy::kFullTransform:
+      direct = false;
+      break;
+  }
+
+  if (direct) {
+    const double w0 = 2.0 * std::numbers::pi / static_cast<double>(n);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      const std::size_t j = wanted[i];
+      LC_CHECK_ARG(j < n, "wanted index out of range");
+      cplx acc{0.0, 0.0};
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += spectrum[k] *
+               std::polar(1.0, w0 * static_cast<double>((j * k) % n));
+      }
+      out[i] = acc * inv_n;
+    }
+    return;
+  }
+
+  auto buf = ws.buffer_b(n);
+  std::copy(spectrum.begin(), spectrum.end(), buf.begin());
+  plan.inverse(buf, ws);
+  for (std::size_t i = 0; i < wanted.size(); ++i) {
+    LC_CHECK_ARG(wanted[i] < n, "wanted index out of range");
+    out[i] = buf[wanted[i]];
+  }
+}
+
+}  // namespace lc::fft

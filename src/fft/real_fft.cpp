@@ -1,0 +1,76 @@
+#include "fft/real_fft.hpp"
+
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+RealFft1D::RealFft1D(std::size_t n)
+    : n_(n), packed_(n % 2 == 0 && n >= 4), half_(packed_ ? n / 2 : n) {
+  LC_CHECK_ARG(n >= 2, "real FFT length must be >= 2");
+  unpack_.resize(n / 2 + 1);
+  const double w0 = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < unpack_.size(); ++k) {
+    unpack_[k] = std::polar(1.0, w0 * static_cast<double>(k));
+  }
+}
+
+void RealFft1D::forward(std::span<const double> in, std::span<cplx> out,
+                        FftWorkspace& ws) const {
+  LC_CHECK_ARG(in.size() == n_, "r2c input length != plan length");
+  LC_CHECK_ARG(out.size() >= spectrum_size(), "r2c output too small");
+  if (!packed_) {
+    auto buf = ws.buffer_a(n_);
+    for (std::size_t j = 0; j < n_; ++j) buf[j] = cplx{in[j], 0.0};
+    half_.forward(buf, ws);
+    for (std::size_t k = 0; k < spectrum_size(); ++k) out[k] = buf[k];
+    return;
+  }
+  const std::size_t h = n_ / 2;
+  auto z = ws.buffer_b(h);
+  for (std::size_t j = 0; j < h; ++j) z[j] = cplx{in[2 * j], in[2 * j + 1]};
+  half_.forward(z, ws);
+  // Unpack: X_k = (Z_k + conj(Z_{h-k}))/2 - (i/2) W^k (Z_k - conj(Z_{h-k})).
+  const cplx half_i{0.0, -0.5};
+  for (std::size_t k = 0; k <= h; ++k) {
+    const cplx zk = (k == h) ? z[0] : z[k];
+    const cplx zc = std::conj(z[(h - k) % h]);
+    out[k] = 0.5 * (zk + zc) + half_i * unpack_[k] * (zk - zc);
+  }
+}
+
+void RealFft1D::inverse(std::span<const cplx> in, std::span<double> out,
+                        FftWorkspace& ws) const {
+  LC_CHECK_ARG(in.size() >= spectrum_size(), "c2r input too small");
+  LC_CHECK_ARG(out.size() == n_, "c2r output length != plan length");
+  if (!packed_) {
+    auto buf = ws.buffer_a(n_);
+    buf[0] = in[0];
+    for (std::size_t k = 1; k < spectrum_size(); ++k) {
+      buf[k] = in[k];
+      buf[n_ - k] = std::conj(in[k]);
+    }
+    half_.inverse(buf, ws);
+    for (std::size_t j = 0; j < n_; ++j) out[j] = buf[j].real();
+    return;
+  }
+  const std::size_t h = n_ / 2;
+  auto z = ws.buffer_b(h);
+  // Repack: Z_k = E_k + i W^{-k} O'_k where E_k = (X_k + conj(X_{h-k}))/2 and
+  // O'_k = (X_k - conj(X_{h-k}))/2; W^{-k} = conj(unpack_[k]).
+  for (std::size_t k = 0; k < h; ++k) {
+    const cplx xk = in[k];
+    const cplx xc = std::conj(in[h - k]);
+    const cplx e = 0.5 * (xk + xc);
+    const cplx o = 0.5 * (xk - xc);
+    z[k] = e + cplx{0.0, 1.0} * std::conj(unpack_[k]) * o;
+  }
+  half_.inverse(z, ws);
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+}  // namespace lc::fft

@@ -1,0 +1,42 @@
+// Real-to-complex (r2c) and complex-to-real (c2r) 1D transforms.
+//
+// Even lengths use the classic packed half-size complex FFT (two real
+// samples per complex slot), halving both flops and twiddle memory relative
+// to a full complex transform of the real data; odd lengths fall back to the
+// complex path. The half-spectrum layout matches FFTW: n/2 + 1 bins, bin 0
+// and bin n/2 (even n) purely real.
+#pragma once
+
+#include <span>
+
+#include "fft/fft1d.hpp"
+
+namespace lc::fft {
+
+/// 1D real FFT plan of fixed length n >= 2. Thread-safe after construction;
+/// scratch comes from the caller's FftWorkspace.
+class RealFft1D {
+ public:
+  explicit RealFft1D(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Number of half-spectrum bins: n/2 + 1.
+  [[nodiscard]] std::size_t spectrum_size() const noexcept { return n_ / 2 + 1; }
+
+  /// Forward r2c: `in` has n reals, `out` has n/2+1 complex bins.
+  void forward(std::span<const double> in, std::span<cplx> out,
+               FftWorkspace& ws) const;
+
+  /// Inverse c2r with 1/n normalisation: `in` has n/2+1 bins (treated as a
+  /// Hermitian half-spectrum), `out` has n reals.
+  void inverse(std::span<const cplx> in, std::span<double> out,
+               FftWorkspace& ws) const;
+
+ private:
+  std::size_t n_;
+  bool packed_;                 // even-n half-size path
+  Fft1D half_;                  // length n/2 (packed) or n (fallback)
+  AlignedVector<cplx> unpack_;  // e^{-2πi k/n}, k in [0, n/2]
+};
+
+}  // namespace lc::fft

@@ -1,0 +1,98 @@
+#include "fft/real_fft3d.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::fft {
+
+RealFft3D::RealFft3D(const Grid3& g, ThreadPool* pool)
+    : grid_(g),
+      sgrid_{g.nx / 2 + 1, g.ny, g.nz},
+      pool_(pool),
+      fx_(static_cast<std::size_t>(g.nx)),
+      fy_(static_cast<std::size_t>(g.ny)),
+      fz_(static_cast<std::size_t>(g.nz)) {
+  LC_CHECK_ARG(g.nx >= 2 && g.ny >= 1 && g.nz >= 1, "grid too small for r2c");
+}
+
+namespace {
+
+void run_blocks(ThreadPool* pool, std::size_t count,
+                const std::function<void(std::size_t, std::size_t,
+                                         FftWorkspace&)>& body) {
+  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+    FftWorkspace ws;
+    body(0, count, ws);
+    return;
+  }
+  pool->parallel_for_blocks(0, count, [&](std::size_t lo, std::size_t hi) {
+    FftWorkspace ws;
+    body(lo, hi, ws);
+  });
+}
+
+}  // namespace
+
+void RealFft3D::sweep_yz(ComplexField& s, bool inv) const {
+  const auto hx = static_cast<std::size_t>(sgrid_.nx);
+  const auto ny = static_cast<std::size_t>(sgrid_.ny);
+  const auto nz = static_cast<std::size_t>(sgrid_.nz);
+  cplx* base = s.data();
+
+  if (!inv) {
+    // y pencils (stride hx) per z-slab, then z pencils (stride hx·ny).
+    run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+      for (std::size_t z = lo; z < hi; ++z) {
+        fy_.forward_strided(base + z * hx * ny, hx, 1, hx, ws);
+      }
+    });
+    run_blocks(pool_, hx * ny,
+               [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+                 fz_.forward_strided(base + lo, hx * ny, 1, hi - lo, ws);
+               });
+  } else {
+    run_blocks(pool_, hx * ny,
+               [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+                 fz_.inverse_strided(base + lo, hx * ny, 1, hi - lo, ws);
+               });
+    run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+      for (std::size_t z = lo; z < hi; ++z) {
+        fy_.inverse_strided(base + z * hx * ny, hx, 1, hx, ws);
+      }
+    });
+  }
+}
+
+ComplexField RealFft3D::forward(const RealField& in) const {
+  LC_CHECK_ARG(in.grid() == grid_, "field grid != plan grid");
+  ComplexField s(sgrid_);
+  const auto nx = static_cast<std::size_t>(grid_.nx);
+  const auto hx = static_cast<std::size_t>(sgrid_.nx);
+  const std::size_t rows = static_cast<std::size_t>(grid_.ny) *
+                           static_cast<std::size_t>(grid_.nz);
+  run_blocks(pool_, rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      fx_.forward({in.data() + row * nx, nx}, {s.data() + row * hx, hx}, ws);
+    }
+  });
+  sweep_yz(s, /*inv=*/false);
+  return s;
+}
+
+RealField RealFft3D::inverse(ComplexField spectrum) const {
+  LC_CHECK_ARG(spectrum.grid() == sgrid_, "spectrum grid != plan grid");
+  sweep_yz(spectrum, /*inv=*/true);
+  RealField out(grid_);
+  const auto nx = static_cast<std::size_t>(grid_.nx);
+  const auto hx = static_cast<std::size_t>(sgrid_.nx);
+  const std::size_t rows = static_cast<std::size_t>(grid_.ny) *
+                           static_cast<std::size_t>(grid_.nz);
+  run_blocks(pool_, rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      fx_.inverse({spectrum.data() + row * hx, hx}, {out.data() + row * nx, nx},
+                  ws);
+    }
+  });
+  return out;
+}
+
+}  // namespace lc::fft

@@ -1,0 +1,154 @@
+#include "fftx/fftx.hpp"
+
+#include "common/check.hpp"
+#include "fft/fft3d.hpp"
+
+namespace lc::fftx {
+
+std::string SubPlan::describe() const {
+  switch (kind_) {
+    case Kind::kDftR2C:
+      return "dft_r2c(padded cube -> slab)";
+    case Kind::kPointwiseC2C:
+      return "pointwise_c2c(" + (op_ ? op_->name() : std::string("?")) + ")";
+    case Kind::kDftC2RSampled:
+      return "dft_c2r(adaptive_sampling callback)";
+    case Kind::kCopyOut:
+      return "copy(copy_offset callback)";
+  }
+  return "?";
+}
+
+PlanFactory::PlanFactory(const Grid3& grid, unsigned mode,
+                         core::LocalConvolverConfig config)
+    : grid_(grid), mode_(mode), config_(config) {
+  LC_CHECK_ARG((mode & (FFTX_MODE_OBSERVE | FFTX_HIGH_PERFORMANCE)) != 0,
+               "mode must include OBSERVE or HIGH_PERFORMANCE");
+}
+
+fftx_plan_sub PlanFactory::plan_guru_dft_r2c(const Box3& subdomain,
+                                             unsigned flags) {
+  LC_CHECK_ARG(Box3::of(grid_).contains(subdomain) && !subdomain.empty(),
+               "sub-domain outside grid");
+  auto sub = std::shared_ptr<SubPlan>(
+      new SubPlan(SubPlan::Kind::kDftR2C, flags));
+  sub->subdomain_ = subdomain;
+  return sub;
+}
+
+fftx_plan_sub PlanFactory::plan_guru_pointwise_c2c(
+    std::shared_ptr<const core::SpectralOperator> op, unsigned flags) {
+  LC_CHECK_ARG(op != nullptr, "null operator");
+  LC_CHECK_ARG((flags & FFTX_PW_POINTWISE) != 0,
+               "pointwise sub-plan needs FFTX_PW_POINTWISE");
+  auto sub = std::shared_ptr<SubPlan>(
+      new SubPlan(SubPlan::Kind::kPointwiseC2C, flags));
+  sub->op_ = std::move(op);
+  return sub;
+}
+
+fftx_plan_sub PlanFactory::plan_guru_pointwise_c2c(
+    std::shared_ptr<const green::KernelSpectrum> kernel, unsigned flags) {
+  return plan_guru_pointwise_c2c(
+      std::make_shared<core::ScalarKernelOperator>(std::move(kernel)), flags);
+}
+
+fftx_plan_sub PlanFactory::plan_guru_dft_c2r(
+    std::shared_ptr<const sampling::Octree> tree, unsigned flags) {
+  LC_CHECK_ARG(tree != nullptr, "null octree");
+  LC_CHECK_ARG(tree->grid() == grid_, "octree grid mismatch");
+  auto sub = std::shared_ptr<SubPlan>(
+      new SubPlan(SubPlan::Kind::kDftC2RSampled, flags));
+  sub->tree_ = std::move(tree);
+  return sub;
+}
+
+fftx_plan_sub PlanFactory::plan_guru_copy(unsigned flags) {
+  return std::shared_ptr<SubPlan>(new SubPlan(SubPlan::Kind::kCopyOut, flags));
+}
+
+fftx_plan PlanFactory::plan_compose(std::vector<fftx_plan_sub> subs,
+                                    unsigned top_flags) {
+  LC_CHECK_ARG(subs.size() == 4, "MASSIF pipeline composes four sub-plans");
+  const std::array<SubPlan::Kind, 4> want{
+      SubPlan::Kind::kDftR2C, SubPlan::Kind::kPointwiseC2C,
+      SubPlan::Kind::kDftC2RSampled, SubPlan::Kind::kCopyOut};
+  for (std::size_t i = 0; i < 4; ++i) {
+    LC_CHECK_ARG(subs[i] != nullptr, "null sub-plan");
+    LC_CHECK_ARG(subs[i]->kind() == want[i],
+                 "sub-plan " + std::to_string(i) + " out of order: " +
+                     subs[i]->describe());
+    LC_CHECK_ARG((subs[i]->flags() & FFTX_FLAG_SUBPLAN) != 0,
+                 "sub-plans must carry FFTX_FLAG_SUBPLAN");
+  }
+  LC_CHECK_ARG(subs[2]->tree_->subdomain() == subs[0]->subdomain_,
+               "sampling octree must target the r2c sub-domain");
+  const unsigned mode = (top_flags & FFTX_HIGH_PERFORMANCE) != 0
+                            ? FFTX_HIGH_PERFORMANCE
+                            : mode_;
+  return std::shared_ptr<ComposedPlan>(
+      new ComposedPlan(grid_, std::move(subs), mode, config_));
+}
+
+ComposedPlan::ComposedPlan(Grid3 grid, std::vector<fftx_plan_sub> subs,
+                           unsigned flags, core::LocalConvolverConfig config)
+    : grid_(grid), subs_(std::move(subs)), flags_(flags) {
+  subdomain_ = subs_[0]->subdomain_;
+  op_ = subs_[1]->op_;
+  tree_ = subs_[2]->tree_;
+  if ((flags_ & FFTX_HIGH_PERFORMANCE) != 0) {
+    fused_ = std::make_unique<core::LocalConvolver>(grid_, op_, config);
+  }
+}
+
+std::string ComposedPlan::describe() const {
+  std::string out = "fftx_plan{";
+  for (const auto& s : subs_) out += s->describe() + "; ";
+  out += (flags_ & FFTX_HIGH_PERFORMANCE) != 0 ? "HIGH_PERFORMANCE"
+                                               : "OBSERVE";
+  return out + "}";
+}
+
+sampling::CompressedField ComposedPlan::execute(const RealField& chunk) const {
+  LC_CHECK_ARG(chunk.grid() == subdomain_.extents(),
+               "chunk shape must match the r2c sub-domain");
+  LC_CHECK_ARG(op_->channels() == 1,
+               "fftx facade executes scalar pipelines (one channel)");
+  trace_.clear();
+  if ((flags_ & FFTX_HIGH_PERFORMANCE) != 0) {
+    return execute_fused(chunk);
+  }
+  return execute_observe(chunk);
+}
+
+sampling::CompressedField ComposedPlan::execute_fused(
+    const RealField& chunk) const {
+  // The "generated code" path: one fused, pruned, batched kernel.
+  return fused_->convolve_subdomain(chunk, subdomain_.lo, tree_);
+}
+
+sampling::CompressedField ComposedPlan::execute_observe(
+    const RealField& chunk) const {
+  // Reference interpretation, one sub-plan at a time, with a trace.
+  fft::Fft3D plan(grid_);
+
+  trace_.push_back(subs_[0]->describe());
+  RealField padded(grid_, 0.0);
+  padded.insert(chunk, subdomain_.lo);
+  ComplexField spec = fft::forward_spectrum(padded, plan);
+
+  trace_.push_back(subs_[1]->describe());
+  for_each_point(Box3::of(grid_), [&](const Index3& p) {
+    core::cplx v[1] = {spec(p)};
+    op_->apply(p, grid_, v);
+    spec(p) = v[0];
+  });
+
+  trace_.push_back(subs_[2]->describe());
+  const RealField dense = fft::inverse_real(std::move(spec), plan);
+
+  trace_.push_back(subs_[3]->describe());
+  return sampling::CompressedField::compress(dense, tree_);
+}
+
+}  // namespace lc::fftx

@@ -1,0 +1,141 @@
+// Mini-FFTX (paper §6, Fig 5): a plan/sub-plan specification API for
+// FFT-based pipelines with complex data mappings — padding, pointwise
+// kernels, adaptive-sampling "callbacks" and copy-out — that decouples the
+// algorithm specification from its execution strategy.
+//
+// The paper's Fig 5 composes four sub-plans for the MASSIF convolution:
+//   plans[0] = fftx_plan_guru_dft_r2c(...)        // small cube → slab
+//   plans[1] = fftx_plan_guru_pointwise_c2c(...)  // Γ̂ / kernel multiply
+//   plans[2] = fftx_plan_guru_dft_c2r(...)        // inverse + sampling cb
+//   plans[3] = fftx_plan_guru_copy(...)           // copy_offset cb
+//   p = fftx_plan_compose(numsubplans, plans, MY_FFTX_MODE_TOP)
+//
+// We reproduce that structure. Two execution backends interpret one and
+// the same composed plan:
+//   - FFTX_MODE_OBSERVE: a straightforward dense reference execution that
+//     records an operation trace (what the paper's observe mode is for);
+//   - FFTX_HIGH_PERFORMANCE: the fused, input/output-pruned, batched
+//     LocalConvolver pipeline (standing in for the SPIRAL-generated code).
+// Both produce identical compressed results — the "specification vs
+// optimization" decoupling, made testable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/local_convolver.hpp"
+#include "core/spectral_operator.hpp"
+#include "sampling/compressed_field.hpp"
+
+namespace lc::fftx {
+
+/// Plan flags (named after the paper's Fig 5 macros).
+enum Flags : unsigned {
+  FFTX_MODE_OBSERVE = 1u << 0,
+  FFTX_ESTIMATE = 1u << 1,
+  FFTX_HIGH_PERFORMANCE = 1u << 2,
+  FFTX_FLAG_SUBPLAN = 1u << 3,
+  FFTX_PW_POINTWISE = 1u << 4,
+};
+
+/// One step of a composed pipeline.
+class SubPlan {
+ public:
+  enum class Kind { kDftR2C, kPointwiseC2C, kDftC2RSampled, kCopyOut };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] unsigned flags() const noexcept { return flags_; }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class PlanFactory;
+  SubPlan(Kind kind, unsigned flags) : kind_(kind), flags_(flags) {}
+
+  Kind kind_;
+  unsigned flags_;
+  // Step payloads (only the relevant ones are set per kind).
+  Box3 subdomain_{};
+  std::shared_ptr<const core::SpectralOperator> op_;
+  std::shared_ptr<const sampling::Octree> tree_;
+
+  friend class ComposedPlan;
+};
+
+using fftx_plan_sub = std::shared_ptr<SubPlan>;
+
+/// A fully composed pipeline: validated sub-plan sequence + backend choice.
+class ComposedPlan {
+ public:
+  /// Execute on a tight k³ input chunk; the result is the adaptively
+  /// sampled N³ convolution (the "output array" of Fig 5).
+  [[nodiscard]] sampling::CompressedField execute(const RealField& chunk) const;
+
+  /// Operation trace of the most recent observe-mode execution (empty in
+  /// high-performance mode — the fused pipeline has no step boundaries).
+  [[nodiscard]] const std::vector<std::string>& trace() const noexcept {
+    return trace_;
+  }
+
+  [[nodiscard]] unsigned flags() const noexcept { return flags_; }
+  [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class PlanFactory;
+  ComposedPlan(Grid3 grid, std::vector<fftx_plan_sub> subs, unsigned flags,
+               core::LocalConvolverConfig config);
+
+  sampling::CompressedField execute_observe(const RealField& chunk) const;
+  sampling::CompressedField execute_fused(const RealField& chunk) const;
+
+  Grid3 grid_;
+  std::vector<fftx_plan_sub> subs_;
+  unsigned flags_;
+  Box3 subdomain_;
+  std::shared_ptr<const core::SpectralOperator> op_;
+  std::shared_ptr<const sampling::Octree> tree_;
+  std::unique_ptr<core::LocalConvolver> fused_;
+  mutable std::vector<std::string> trace_;
+};
+
+using fftx_plan = std::shared_ptr<ComposedPlan>;
+
+/// Factory bound to an environment (fftx_init / fftx_shutdown in Fig 5).
+class PlanFactory {
+ public:
+  /// `mode` selects the execution strategy for composed plans.
+  explicit PlanFactory(const Grid3& grid, unsigned mode = FFTX_MODE_OBSERVE,
+                       core::LocalConvolverConfig config = {});
+
+  /// RDFT of the small cube into the (implicitly padded) slab.
+  [[nodiscard]] fftx_plan_sub plan_guru_dft_r2c(const Box3& subdomain,
+                                                unsigned flags);
+
+  /// Pointwise multiply / contraction with an on-the-fly operator
+  /// (the `complex_scaling` callback of Fig 5).
+  [[nodiscard]] fftx_plan_sub plan_guru_pointwise_c2c(
+      std::shared_ptr<const core::SpectralOperator> op, unsigned flags);
+  [[nodiscard]] fftx_plan_sub plan_guru_pointwise_c2c(
+      std::shared_ptr<const green::KernelSpectrum> kernel, unsigned flags);
+
+  /// Inverse RDFT with the `adaptive_sampling` callback: results are kept
+  /// only on the octree lattice.
+  [[nodiscard]] fftx_plan_sub plan_guru_dft_c2r(
+      std::shared_ptr<const sampling::Octree> tree, unsigned flags);
+
+  /// The `copy_offset` callback step: places samples at their location in
+  /// the output layout.
+  [[nodiscard]] fftx_plan_sub plan_guru_copy(unsigned flags);
+
+  /// Validate and fuse the sub-plans into an executable pipeline.
+  [[nodiscard]] fftx_plan plan_compose(std::vector<fftx_plan_sub> subs,
+                                       unsigned top_flags);
+
+ private:
+  Grid3 grid_;
+  unsigned mode_;
+  core::LocalConvolverConfig config_;
+};
+
+}  // namespace lc::fftx

@@ -1,0 +1,21 @@
+#include "green/kernel.hpp"
+
+#include "common/check.hpp"
+
+namespace lc::green {
+
+ComplexField KernelSpectrum::materialize(const Grid3& g) const {
+  ComplexField out(g);
+  for_each_point(Box3::of(g), [&](const Index3& p) { out(p) = eval(p, g); });
+  return out;
+}
+
+DenseSpectrum::DenseSpectrum(ComplexField spectrum, std::string name)
+    : hat_(std::move(spectrum)), name_(std::move(name)) {}
+
+cplx DenseSpectrum::eval(const Index3& bin, const Grid3& g) const {
+  LC_CHECK_ARG(hat_.grid() == g, "dense spectrum grid mismatch");
+  return hat_(bin);
+}
+
+}  // namespace lc::green

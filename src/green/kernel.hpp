@@ -1,0 +1,52 @@
+// Convolution-kernel abstraction (paper §3.2 "Choice of convolution kernel").
+//
+// Kernels are evaluated in the frequency domain, bin by bin, so the slab
+// pipeline can multiply spectra on the fly without ever materialising an
+// N^3 kernel array — the paper's "the closed form of the Green's function
+// ... can be computed on-the-fly during convolution, further reducing
+// memory requirement".
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <string>
+
+#include "fft/fft3d.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::green {
+
+using cplx = std::complex<double>;
+
+/// A scalar convolution kernel given by its DFT on an N^3 grid.
+class KernelSpectrum {
+ public:
+  virtual ~KernelSpectrum() = default;
+
+  /// Spectrum value at DFT bin (jx, jy, jz) of grid `g`.
+  [[nodiscard]] virtual cplx eval(const Index3& bin, const Grid3& g) const = 0;
+
+  /// Human-readable kernel name (for bench output).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Materialise the full dense spectrum (test/baseline use).
+  [[nodiscard]] ComplexField materialize(const Grid3& g) const;
+};
+
+/// Dense spectrum wrapper: adapts a precomputed ComplexField to the
+/// KernelSpectrum interface (e.g. a numerically transformed kernel).
+class DenseSpectrum final : public KernelSpectrum {
+ public:
+  explicit DenseSpectrum(ComplexField spectrum, std::string name = "dense");
+
+  [[nodiscard]] cplx eval(const Index3& bin, const Grid3& g) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const ComplexField& spectrum() const noexcept { return hat_; }
+
+ private:
+  ComplexField hat_;
+  std::string name_;
+};
+
+}  // namespace lc::green

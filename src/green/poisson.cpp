@@ -1,0 +1,27 @@
+#include "green/poisson.hpp"
+
+#include <cmath>
+
+#include "fft/freq.hpp"
+
+namespace lc::green {
+
+cplx PoissonGreenSpectrum::eval(const Index3& bin, const Grid3& g) const {
+  if (bin == Index3{0, 0, 0}) return cplx{0.0, 0.0};
+  const double wx = fft::angular_frequency(bin.x, g.nx);
+  const double wy = fft::angular_frequency(bin.y, g.ny);
+  const double wz = fft::angular_frequency(bin.z, g.nz);
+  double denom;
+  if (discrete_) {
+    auto ev = [](double w) {
+      const double s = std::sin(w / 2.0);
+      return 4.0 * s * s;
+    };
+    denom = ev(wx) + ev(wy) + ev(wz);
+  } else {
+    denom = wx * wx + wy * wy + wz * wz;
+  }
+  return cplx{1.0 / denom, 0.0};
+}
+
+}  // namespace lc::green

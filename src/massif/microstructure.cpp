@@ -1,0 +1,139 @@
+#include "massif/microstructure.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace lc::massif {
+
+Phase Phase::isotropic(std::string name, double young, double poisson) {
+  Phase p;
+  p.name = std::move(name);
+  p.lame = lame_from_young_poisson(young, poisson);
+  p.stiffness = isotropic_stiffness(p.lame.lambda, p.lame.mu);
+  return p;
+}
+
+Microstructure::Microstructure(const Grid3& grid, std::vector<Phase> phases,
+                               std::vector<std::uint8_t> phase_of_voxel)
+    : grid_(grid), phases_(std::move(phases)), voxels_(std::move(phase_of_voxel)) {
+  LC_CHECK_ARG(!phases_.empty(), "need at least one phase");
+  LC_CHECK_ARG(voxels_.size() == grid.size(), "voxel array size mismatch");
+  for (const auto v : voxels_) {
+    LC_CHECK_ARG(v < phases_.size(), "voxel references unknown phase");
+  }
+}
+
+std::vector<double> Microstructure::volume_fractions() const {
+  std::vector<double> frac(phases_.size(), 0.0);
+  for (const auto v : voxels_) frac[v] += 1.0;
+  for (auto& f : frac) f /= static_cast<double>(voxels_.size());
+  return frac;
+}
+
+Lame Microstructure::reference_medium() const {
+  double lo_mu = phases_[0].lame.mu;
+  double hi_mu = lo_mu;
+  double lo_la = phases_[0].lame.lambda;
+  double hi_la = lo_la;
+  for (const auto& p : phases_) {
+    lo_mu = std::min(lo_mu, p.lame.mu);
+    hi_mu = std::max(hi_mu, p.lame.mu);
+    lo_la = std::min(lo_la, p.lame.lambda);
+    hi_la = std::max(hi_la, p.lame.lambda);
+  }
+  return Lame{(lo_la + hi_la) / 2.0, (lo_mu + hi_mu) / 2.0};
+}
+
+Lame Microstructure::reference_medium_geometric() const {
+  double lo_mu = phases_[0].lame.mu;
+  double hi_mu = lo_mu;
+  double lo_la = phases_[0].lame.lambda;
+  double hi_la = lo_la;
+  for (const auto& p : phases_) {
+    lo_mu = std::min(lo_mu, p.lame.mu);
+    hi_mu = std::max(hi_mu, p.lame.mu);
+    lo_la = std::min(lo_la, p.lame.lambda);
+    hi_la = std::max(hi_la, p.lame.lambda);
+  }
+  LC_CHECK_ARG(lo_mu > 0.0 && lo_la > 0.0,
+               "geometric reference needs positive moduli");
+  return Lame{std::sqrt(lo_la * hi_la), std::sqrt(lo_mu * hi_mu)};
+}
+
+Microstructure Microstructure::homogeneous(const Grid3& grid,
+                                           const Phase& phase) {
+  return Microstructure(grid, {phase},
+                        std::vector<std::uint8_t>(grid.size(), 0));
+}
+
+Microstructure Microstructure::cubic_inclusion(const Grid3& grid,
+                                               const Phase& matrix,
+                                               const Phase& inclusion,
+                                               i64 inclusion_side) {
+  LC_CHECK_ARG(inclusion_side >= 1 && inclusion_side <= grid.nx,
+               "inclusion larger than grid");
+  std::vector<std::uint8_t> vox(grid.size(), 0);
+  const Index3 corner{(grid.nx - inclusion_side) / 2,
+                      (grid.ny - inclusion_side) / 2,
+                      (grid.nz - inclusion_side) / 2};
+  for_each_point(Box3::cube_at(corner, inclusion_side),
+                 [&](const Index3& p) { vox[grid.index(p)] = 1; });
+  return Microstructure(grid, {matrix, inclusion}, std::move(vox));
+}
+
+Microstructure Microstructure::random_spheres(const Grid3& grid,
+                                              const Phase& matrix,
+                                              const Phase& inclusion,
+                                              double target_fraction,
+                                              double radius,
+                                              std::uint64_t seed) {
+  LC_CHECK_ARG(target_fraction > 0.0 && target_fraction < 1.0,
+               "fraction must be in (0, 1)");
+  LC_CHECK_ARG(radius >= 1.0, "radius must be >= 1 voxel");
+  std::vector<std::uint8_t> vox(grid.size(), 0);
+  SplitMix64 rng(seed);
+  std::size_t filled = 0;
+  const auto target =
+      static_cast<std::size_t>(target_fraction * static_cast<double>(grid.size()));
+  const double r2 = radius * radius;
+  int attempts = 0;
+  while (filled < target && attempts < 10000) {
+    ++attempts;
+    const Index3 c{static_cast<i64>(rng.below(static_cast<std::uint64_t>(grid.nx))),
+                   static_cast<i64>(rng.below(static_cast<std::uint64_t>(grid.ny))),
+                   static_cast<i64>(rng.below(static_cast<std::uint64_t>(grid.nz)))};
+    const auto ir = static_cast<i64>(radius) + 1;
+    for (i64 dz = -ir; dz <= ir; ++dz) {
+      for (i64 dy = -ir; dy <= ir; ++dy) {
+        for (i64 dx = -ir; dx <= ir; ++dx) {
+          if (static_cast<double>(dx * dx + dy * dy + dz * dz) > r2) continue;
+          // Periodic placement (the solver's boundary conditions are
+          // periodic, so inclusions may wrap).
+          const Index3 p{((c.x + dx) % grid.nx + grid.nx) % grid.nx,
+                         ((c.y + dy) % grid.ny + grid.ny) % grid.ny,
+                         ((c.z + dz) % grid.nz + grid.nz) % grid.nz};
+          auto& v = vox[grid.index(p)];
+          if (v == 0) {
+            v = 1;
+            ++filled;
+          }
+        }
+      }
+    }
+  }
+  return Microstructure(grid, {matrix, inclusion}, std::move(vox));
+}
+
+Microstructure Microstructure::laminate(const Grid3& grid, const Phase& a,
+                                        const Phase& b, i64 layer_thickness) {
+  LC_CHECK_ARG(layer_thickness >= 1, "layer thickness must be >= 1");
+  std::vector<std::uint8_t> vox(grid.size(), 0);
+  for_each_point(Box3::of(grid), [&](const Index3& p) {
+    vox[grid.index(p)] =
+        static_cast<std::uint8_t>((p.z / layer_thickness) % 2);
+  });
+  return Microstructure(grid, {a, b}, std::move(vox));
+}
+
+}  // namespace lc::massif

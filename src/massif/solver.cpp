@@ -1,0 +1,278 @@
+#include "massif/solver.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/accumulator.hpp"
+
+namespace lc::massif {
+
+// --- Dense backend (Algorithm 1) -------------------------------------------
+
+DenseGreenBackend::DenseGreenBackend(const Grid3& grid, const Lame& reference,
+                                     ThreadPool* pool)
+    : grid_(grid), ref_(reference), plan_(grid, pool) {}
+
+void DenseGreenBackend::apply(const SymTensorField& sigma,
+                              SymTensorField& delta_eps) {
+  LC_CHECK_ARG(sigma.grid() == grid_, "stress grid mismatch");
+  // Forward FFT of all six Voigt components.
+  std::array<ComplexField, 6> hat;
+  for (std::size_t a = 0; a < 6; ++a) {
+    hat[a] = fft::forward_spectrum(sigma.component(a), plan_);
+  }
+  // Per-bin contraction Δε̂ = Γ̂ : σ̂ (DC bin maps to zero inside Γ̂).
+  for_each_point(Box3::of(grid_), [&](const Index3& p) {
+    const Green4 gamma = green::elastic_green_at_bin(p, grid_, ref_);
+    Sym2c s;
+    const std::size_t lin = grid_.index(p);
+    for (std::size_t a = 0; a < 6; ++a) s.v[a] = hat[a][lin];
+    const Sym2c e = green::apply_green(gamma, s);
+    for (std::size_t a = 0; a < 6; ++a) hat[a][lin] = e.v[a];
+  });
+  // Inverse FFT back to strain increments.
+  for (std::size_t a = 0; a < 6; ++a) {
+    delta_eps.component(a) = fft::inverse_real(std::move(hat[a]), plan_);
+  }
+}
+
+// --- Low-communication backend (Algorithm 2) --------------------------------
+
+LowCommGreenBackend::LowCommGreenBackend(const Grid3& grid,
+                                         const Lame& reference, Params params)
+    : decomp_(grid, params.subdomain),
+      params_(params),
+      convolver_(grid, std::make_shared<ElasticGreenOperator>(reference),
+                 core::LocalConvolverConfig{params.batch, params.pool,
+                                            params.device}),
+      octrees_(decomp_.count()) {
+  const sampling::SamplingPolicy policy =
+      params_.uniform_rate.has_value()
+          ? sampling::SamplingPolicy::uniform(*params_.uniform_rate)
+          : sampling::SamplingPolicy::paper_default(
+                params_.subdomain, params_.far_rate, /*boundary_band=*/0,
+                params_.dense_halo);
+  for (std::size_t d = 0; d < decomp_.count(); ++d) {
+    octrees_[d] = std::make_shared<sampling::Octree>(
+        grid, decomp_.subdomain(d), policy);
+  }
+}
+
+std::size_t LowCommGreenBackend::exchange_bytes_per_apply() const {
+  std::size_t bytes = 0;
+  for (const auto& tree : octrees_) {
+    bytes += 6 * tree->total_samples() * sizeof(double);
+  }
+  return bytes;
+}
+
+void LowCommGreenBackend::apply(const SymTensorField& sigma,
+                                SymTensorField& delta_eps) {
+  LC_CHECK_ARG(sigma.grid() == decomp_.grid(), "stress grid mismatch");
+  // Per-component contribution lists across all sub-domains.
+  std::array<std::vector<sampling::CompressedField>, 6> contributions;
+
+  for (std::size_t d = 0; d < decomp_.count(); ++d) {
+    const Box3& box = decomp_.subdomain(d);
+    std::vector<RealField> chunks;
+    chunks.reserve(6);
+    for (std::size_t a = 0; a < 6; ++a) {
+      chunks.push_back(sigma.component(a).extract(box));
+    }
+    auto results = convolver_.convolve_channels(chunks, box.lo, octrees_[d]);
+    for (std::size_t a = 0; a < 6; ++a) {
+      contributions[a].push_back(std::move(results[a]));
+    }
+  }
+  // Accumulation: the single (simulated) exchange + interpolation step.
+  for (std::size_t a = 0; a < 6; ++a) {
+    delta_eps.component(a) = core::accumulate_full(
+        contributions[a], decomp_.grid(), params_.interpolation);
+  }
+}
+
+// --- Fixed-point solver -------------------------------------------------------
+
+MassifSolver::MassifSolver(const Microstructure& micro,
+                           const Sym2& macro_strain,
+                           std::shared_ptr<GreenConvolutionBackend> backend,
+                           SolverOptions options)
+    : micro_(micro),
+      macro_(macro_strain),
+      backend_(std::move(backend)),
+      options_(options),
+      eps_(micro.grid()),
+      sig_(micro.grid()) {
+  LC_CHECK_ARG(backend_ != nullptr, "null backend");
+  LC_CHECK_ARG(options_.tolerance > 0.0, "tolerance must be positive");
+  if (options_.scheme == Scheme::kConjugateGradient) {
+    LC_CHECK_ARG(options_.reference.mu > 0.0,
+                 "the CG scheme needs the backend's reference medium");
+  }
+  eps_.fill(macro_);
+  update_stress();
+}
+
+void MassifSolver::update_stress() {
+  for_each_point(Box3::of(micro_.grid()), [&](const Index3& p) {
+    sig_.set(p, micro_.stiffness_at(p).ddot(eps_.at(p)));
+  });
+}
+
+SolveReport MassifSolver::solve() {
+  return options_.scheme == Scheme::kConjugateGradient ? solve_cg()
+                                                       : solve_basic();
+}
+
+SolveReport MassifSolver::solve_basic() {
+  SolveReport report;
+  const double macro_norm =
+      macro_.norm() * std::sqrt(static_cast<double>(micro_.grid().size()));
+  LC_CHECK_ARG(macro_norm > 0.0, "macroscopic strain must be nonzero");
+
+  SymTensorField delta(micro_.grid());
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    backend_->apply(sig_, delta);
+    // ε ← ε − Δε
+    for (std::size_t a = 0; a < 6; ++a) {
+      auto e = eps_.component(a).span();
+      const auto d = delta.component(a).span();
+      for (std::size_t i = 0; i < e.size(); ++i) e[i] -= d[i];
+    }
+    update_stress();
+
+    const double change = delta.l2_norm() / macro_norm;
+    report.strain_change_history.push_back(change);
+    report.iterations = it + 1;
+    if (change < options_.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Energy-weighted inner product over symmetric tensor fields
+/// (off-diagonal Voigt slots count twice, matching the ddot convention).
+double field_dot(const SymTensorField& a, const SymTensorField& b) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < 6; ++c) {
+    const double w = (c < 3) ? 1.0 : 2.0;
+    const auto pa = a.component(c).span();
+    const auto pb = b.component(c).span();
+    for (std::size_t i = 0; i < pa.size(); ++i) acc += w * pa[i] * pb[i];
+  }
+  return acc;
+}
+
+/// y += s * x
+void field_axpy(SymTensorField& y, double s, const SymTensorField& x) {
+  for (std::size_t c = 0; c < 6; ++c) {
+    auto py = y.component(c).span();
+    const auto px = x.component(c).span();
+    for (std::size_t i = 0; i < py.size(); ++i) py[i] += s * px[i];
+  }
+}
+
+}  // namespace
+
+SolveReport MassifSolver::solve_cg() {
+  // Lippmann–Schwinger: (I + Γ⁰ δC) ε = E with δC = C(x) − C0, solved for
+  // the zero-mean fluctuation e = ε − E:
+  //   A e = b,   A x = x + Γ⁰∗(δC : x),   b = −Γ⁰∗(δC : E).
+  // Γ⁰∗· always returns zero-mean fields, so A preserves the fluctuation
+  // space and b lies in it. One backend convolution per CG iteration —
+  // the same per-iteration cost as the basic scheme.
+  SolveReport report;
+  LC_CHECK_ARG(macro_.norm() > 0.0, "macroscopic strain must be nonzero");
+  const Grid3& g = micro_.grid();
+  const Stiffness c0 =
+      isotropic_stiffness(options_.reference.lambda, options_.reference.mu);
+  std::vector<Stiffness> delta_c;
+  delta_c.reserve(micro_.phases().size());
+  for (const auto& phase : micro_.phases()) {
+    Stiffness d = phase.stiffness;
+    d -= c0;
+    delta_c.push_back(d);
+  }
+
+  SymTensorField tau(g);  // scratch: δC : x
+  auto apply_green_dc = [&](const SymTensorField& x, SymTensorField& out) {
+    for_each_point(Box3::of(g), [&](const Index3& p) {
+      tau.set(p, delta_c[micro_.phase_at(p)].ddot(x.at(p)));
+    });
+    backend_->apply(tau, out);
+  };
+
+  // b = −Γ⁰∗(δC : E)
+  SymTensorField macro_field(g);
+  macro_field.fill(macro_);
+  SymTensorField b(g);
+  apply_green_dc(macro_field, b);
+  for (std::size_t c = 0; c < 6; ++c) {
+    for (auto& v : b.component(c).span()) v = -v;
+  }
+  const double b_norm = std::sqrt(field_dot(b, b));
+  if (b_norm == 0.0) {
+    // Homogeneous material: ε = E is already the solution.
+    report.converged = true;
+    report.iterations = 1;
+    report.strain_change_history.push_back(0.0);
+    update_stress();
+    return report;
+  }
+
+  SymTensorField e(g);       // fluctuation iterate (starts at zero)
+  SymTensorField r = b;      // residual
+  SymTensorField p = r;      // search direction
+  SymTensorField ap(g);      // A p
+  double rr = field_dot(r, r);
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    apply_green_dc(p, ap);        // Γ⁰∗(δC : p)
+    field_axpy(ap, 1.0, p);       // A p = p + Γ⁰∗(δC : p)
+    const double p_ap = field_dot(p, ap);
+    LC_CHECK(p_ap != 0.0, "CG breakdown: p·Ap == 0");
+    const double alpha = rr / p_ap;
+    field_axpy(e, alpha, p);
+    field_axpy(r, -alpha, ap);
+    const double rr_new = field_dot(r, r);
+    const double rel = std::sqrt(rr_new) / b_norm;
+    report.strain_change_history.push_back(rel);
+    report.iterations = it + 1;
+    if (rel < options_.tolerance) {
+      report.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    // p = r + beta p
+    for (std::size_t c = 0; c < 6; ++c) {
+      auto pp = p.component(c).span();
+      const auto pr = r.component(c).span();
+      for (std::size_t i = 0; i < pp.size(); ++i) {
+        pp[i] = pr[i] + beta * pp[i];
+      }
+    }
+  }
+
+  // ε = E + e; recompute stress from the converged strain.
+  eps_ = macro_field;
+  field_axpy(eps_, 1.0, e);
+  update_stress();
+  return report;
+}
+
+Sym2 MassifSolver::average_stress() const {
+  Sym2 avg;
+  for (std::size_t a = 0; a < 6; ++a) {
+    double acc = 0.0;
+    for (const auto v : sig_.component(a).span()) acc += v;
+    avg.v[a] = acc / static_cast<double>(micro_.grid().size());
+  }
+  return avg;
+}
+
+}  // namespace lc::massif

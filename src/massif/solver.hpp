@@ -1,0 +1,151 @@
+// MASSIF: fixed-point FFT homogenisation solver for Hooke's law in
+// composite microstructures (paper §2.2, Algorithms 1 and 2) — the
+// Moulinec–Suquet basic scheme.
+//
+//   ε⁰(x) = E (prescribed macroscopic strain)
+//   repeat:  σ(x)   = C(x) : ε(x)
+//            Δε̂(ξ)  = Γ̂(ξ) : σ̂(ξ),  Δε̂(0) = 0
+//            ε(x)  ←  ε(x) − Δε(x)
+//   until ‖Δε‖ / ‖E‖ < tolerance.
+//
+// Two interchangeable convolution backends compute Δε = Γ ∗ σ:
+//   - DenseGreenBackend: full 3D FFTs of all six stress components
+//     (Algorithm 1, the traditional path);
+//   - LowCommGreenBackend: per-sub-domain local convolution with octree
+//     compression and sparse accumulation (Algorithm 2, this paper).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/local_convolver.hpp"
+#include "fft/fft3d.hpp"
+#include "massif/green_operator.hpp"
+#include "massif/microstructure.hpp"
+#include "tensor/tensor_field.hpp"
+
+namespace lc::massif {
+
+/// Strategy interface for the Γ ∗ σ convolution inside one iteration.
+class GreenConvolutionBackend {
+ public:
+  virtual ~GreenConvolutionBackend() = default;
+
+  /// Compute delta_eps = Γ ∗ sigma (all six Voigt components).
+  virtual void apply(const SymTensorField& sigma,
+                     SymTensorField& delta_eps) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Algorithm 1: dense full-grid FFTs.
+class DenseGreenBackend final : public GreenConvolutionBackend {
+ public:
+  DenseGreenBackend(const Grid3& grid, const Lame& reference,
+                    ThreadPool* pool = &ThreadPool::global());
+
+  void apply(const SymTensorField& sigma, SymTensorField& delta_eps) override;
+  [[nodiscard]] std::string name() const override { return "dense"; }
+
+ private:
+  Grid3 grid_;
+  Lame ref_;
+  fft::Fft3D plan_;
+};
+
+/// Algorithm 2: domain-decomposed local convolution with compression.
+class LowCommGreenBackend final : public GreenConvolutionBackend {
+ public:
+  /// `subdomain`, `uniform_rate`/`far_rate`, `dense_halo` parameterise the
+  /// decomposition and sampling exactly as core::LowCommParams does.
+  struct Params {
+    i64 subdomain = 16;
+    i64 far_rate = 8;
+    i64 dense_halo = 2;
+    std::optional<i64> uniform_rate;
+    std::size_t batch = 1024;
+    sampling::Interpolation interpolation =
+        sampling::Interpolation::kTrilinear;
+    device::DeviceContext* device = nullptr;
+    ThreadPool* pool = &ThreadPool::global();
+  };
+
+  LowCommGreenBackend(const Grid3& grid, const Lame& reference, Params params);
+
+  void apply(const SymTensorField& sigma, SymTensorField& delta_eps) override;
+  [[nodiscard]] std::string name() const override { return "lowcomm"; }
+
+  /// Payload bytes one full Γ ∗ σ application would exchange (6 channels ×
+  /// all sub-domains) — the per-iteration communication volume.
+  [[nodiscard]] std::size_t exchange_bytes_per_apply() const;
+
+ private:
+  core::DomainDecomposition decomp_;
+  Params params_;
+  core::LocalConvolver convolver_;
+  std::vector<std::shared_ptr<const sampling::Octree>> octrees_;
+};
+
+/// Convergence/progress report of one solve.
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> strain_change_history;  ///< ‖Δε‖/‖E‖ per iteration
+};
+
+/// Fixed-point update rule.
+enum class Scheme {
+  /// Moulinec–Suquet basic scheme (paper Algorithm 1): ε ← ε − Γ⁰∗σ.
+  /// Convergence rate degrades linearly with the phase contrast.
+  kBasic,
+  /// Conjugate-gradient acceleration (Zeman et al. 2010): solve the
+  /// Lippmann–Schwinger system (I + Γ⁰ δC) ε = E, δC = C(x) − C0, with CG
+  /// — one Γ⁰ convolution per iteration, but iteration counts that scale
+  /// ~sqrt(contrast). An extension beyond the paper (its legacy MASSIF
+  /// uses the basic scheme); composes with either convolution backend.
+  kConjugateGradient,
+};
+
+/// Solver options.
+struct SolverOptions {
+  double tolerance = 1e-6;
+  int max_iterations = 200;
+  Scheme scheme = Scheme::kBasic;
+  /// Reference medium (λ0, μ0) used to form δC = C − C0 for the CG scheme;
+  /// must match the backend's reference. Ignored by the basic scheme.
+  Lame reference{};
+};
+
+/// The fixed-point solver, generic over the convolution backend.
+class MassifSolver {
+ public:
+  MassifSolver(const Microstructure& micro, const Sym2& macro_strain,
+               std::shared_ptr<GreenConvolutionBackend> backend,
+               SolverOptions options = {});
+
+  /// Run the chosen scheme to convergence (or max_iterations).
+  SolveReport solve();
+
+  [[nodiscard]] const SymTensorField& strain() const noexcept { return eps_; }
+  [[nodiscard]] const SymTensorField& stress() const noexcept { return sig_; }
+  [[nodiscard]] const Sym2& macro_strain() const noexcept { return macro_; }
+
+  /// Volume-averaged stress (the homogenised response ⟨σ⟩ = C_eff : E).
+  [[nodiscard]] Sym2 average_stress() const;
+
+ private:
+  void update_stress();
+  SolveReport solve_basic();
+  SolveReport solve_cg();
+
+  const Microstructure& micro_;
+  Sym2 macro_;
+  std::shared_ptr<GreenConvolutionBackend> backend_;
+  SolverOptions options_;
+  SymTensorField eps_;
+  SymTensorField sig_;
+};
+
+}  // namespace lc::massif

@@ -1,0 +1,166 @@
+#include "sampling/compressed_field.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.hpp"
+
+namespace lc::sampling {
+
+CompressedField::CompressedField(std::shared_ptr<const Octree> tree)
+    : tree_(std::move(tree)) {
+  LC_CHECK_ARG(tree_ != nullptr, "null octree");
+  samples_.assign(tree_->total_samples(), 0.0);
+}
+
+CompressedField CompressedField::compress(const RealField& full,
+                                          std::shared_ptr<const Octree> tree) {
+  LC_CHECK_ARG(tree != nullptr, "null octree");
+  LC_CHECK_ARG(full.grid() == tree->grid(), "field grid != octree grid");
+  const Grid3& g = full.grid();
+  CompressedField out(std::move(tree));
+  for (const auto& c : out.tree_->cells()) {
+    const i64 e = c.samples_per_edge();
+    double* dst = out.samples_.data() + c.sample_offset;
+    for (i64 iz = 0; iz < e; ++iz) {
+      const i64 z = (c.corner.z + iz * c.rate) % g.nz;  // wrap top planes
+      for (i64 iy = 0; iy < e; ++iy) {
+        const i64 y = (c.corner.y + iy * c.rate) % g.ny;
+        for (i64 ix = 0; ix < e; ++ix) {
+          *dst++ = full((c.corner.x + ix * c.rate) % g.nx, y, z);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Catmull-Rom weights for fractional position t in [0, 1): w[-1..2].
+std::array<double, 4> catmull_rom_weights(double t) {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return {(-t3 + 2.0 * t2 - t) * 0.5, (3.0 * t3 - 5.0 * t2 + 2.0) * 0.5,
+          (-3.0 * t3 + 4.0 * t2 + t) * 0.5, (t3 - t2) * 0.5};
+}
+
+}  // namespace
+
+double CompressedField::interpolate_in_cell(const OctreeCell& cell,
+                                            std::span<const double> payload,
+                                            const Index3& p,
+                                            Interpolation interp) {
+  const std::span<const double> s =
+      payload.subspan(cell.sample_offset, cell.sample_count());
+  if (cell.rate == 1) {  // dense cell: exact lookup
+    return s[cell.sample_index(p.x - cell.corner.x, p.y - cell.corner.y,
+                               p.z - cell.corner.z)];
+  }
+  // Edge-inclusive lattice: base+1 is always a stored sample.
+  const i64 e = cell.samples_per_edge();
+  const double inv_r = 1.0 / static_cast<double>(cell.rate);
+  auto split = [&](i64 coord, i64 corner) {
+    const i64 off = coord - corner;
+    const i64 base = off / cell.rate;
+    const double frac = static_cast<double>(off - base * cell.rate) * inv_r;
+    return std::pair<i64, double>(base, frac);
+  };
+  const auto [bx, fx] = split(p.x, cell.corner.x);
+  const auto [by, fy] = split(p.y, cell.corner.y);
+  const auto [bz, fz] = split(p.z, cell.corner.z);
+
+  auto at = [&](i64 ix, i64 iy, i64 iz) {
+    return s[cell.sample_index(ix, iy, iz)];
+  };
+
+  if (interp == Interpolation::kTrilinear) {
+    const i64 bx1 = bx + 1;
+    const i64 by1 = by + 1;
+    const i64 bz1 = bz + 1;
+    const double c00 = at(bx, by, bz) * (1 - fx) + at(bx1, by, bz) * fx;
+    const double c10 = at(bx, by1, bz) * (1 - fx) + at(bx1, by1, bz) * fx;
+    const double c01 = at(bx, by, bz1) * (1 - fx) + at(bx1, by, bz1) * fx;
+    const double c11 = at(bx, by1, bz1) * (1 - fx) + at(bx1, by1, bz1) * fx;
+    const double c0 = c00 * (1 - fy) + c10 * fy;
+    const double c1 = c01 * (1 - fy) + c11 * fy;
+    return c0 * (1 - fz) + c1 * fz;
+  }
+
+  // Tricubic Catmull-Rom on the 4³ stencil around the base sample. Axes
+  // whose stencil would leave the cell's lattice reduce to linear order
+  // (clamping the stencil instead would break even linear reproduction:
+  // duplicated sample positions violate the first moment condition).
+  auto axis_weights = [&](i64 b, double t) {
+    if (b >= 1 && b + 2 <= e - 1) return catmull_rom_weights(t);
+    return std::array<double, 4>{0.0, 1.0 - t, t, 0.0};
+  };
+  const auto wx = axis_weights(bx, fx);
+  const auto wy = axis_weights(by, fy);
+  const auto wz = axis_weights(bz, fz);
+  auto clamp_idx = [&](i64 v) { return std::clamp<i64>(v, 0, e - 1); };
+  double acc = 0.0;
+  for (int dz = -1; dz <= 2; ++dz) {
+    const double wzv = wz[static_cast<std::size_t>(dz + 1)];
+    if (wzv == 0.0) continue;
+    const i64 iz = clamp_idx(bz + dz);
+    for (int dy = -1; dy <= 2; ++dy) {
+      const double wyz = wy[static_cast<std::size_t>(dy + 1)] * wzv;
+      if (wyz == 0.0) continue;
+      const i64 iy = clamp_idx(by + dy);
+      for (int dx = -1; dx <= 2; ++dx) {
+        const double w = wx[static_cast<std::size_t>(dx + 1)];
+        if (w == 0.0) continue;
+        acc += w * wyz * at(clamp_idx(bx + dx), iy, iz);
+      }
+    }
+  }
+  return acc;
+}
+
+double CompressedField::value_at(const Index3& p, Interpolation interp) const {
+  const OctreeCell& cell = tree_->cell_containing(p);
+  return interpolate_in_cell(cell, samples(), p, interp);
+}
+
+void CompressedField::reconstruct_add(RealField& out, const Box3& region,
+                                      Interpolation interp) const {
+  LC_CHECK_ARG(out.grid() == region.extents(),
+               "output field must tile the region exactly");
+  LC_CHECK_ARG(Box3::of(tree_->grid()).contains(region),
+               "region outside compressed grid");
+  const auto payload = samples();
+  for (const auto& c : tree_->cells()) {
+    const Box3 overlap = c.box().intersect(region);
+    if (overlap.empty()) continue;
+    if (c.rate == 1) {
+      // Dense cell: direct copy of the stored lattice (it is the grid).
+      const i64 e = c.samples_per_edge();
+      for (i64 z = overlap.lo.z; z < overlap.hi.z; ++z) {
+        const i64 iz = z - c.corner.z;
+        for (i64 y = overlap.lo.y; y < overlap.hi.y; ++y) {
+          const i64 iy = y - c.corner.y;
+          const double* src = payload.data() + c.sample_offset +
+                              static_cast<std::size_t>((iz * e + iy) * e +
+                                                       (overlap.lo.x - c.corner.x));
+          double* dst = &out(overlap.lo.x - region.lo.x, y - region.lo.y,
+                             z - region.lo.z);
+          for (i64 x = 0; x < overlap.hi.x - overlap.lo.x; ++x) dst[x] += src[x];
+        }
+      }
+    } else {
+      for_each_point(overlap, [&](const Index3& p) {
+        out(p.x - region.lo.x, p.y - region.lo.y, p.z - region.lo.z) +=
+            interpolate_in_cell(c, payload, p, interp);
+      });
+    }
+  }
+}
+
+RealField CompressedField::reconstruct(Interpolation interp) const {
+  RealField out(tree_->grid(), 0.0);
+  reconstruct_add(out, Box3::of(tree_->grid()), interp);
+  return out;
+}
+
+}  // namespace lc::sampling

@@ -1,0 +1,81 @@
+// CompressedField: the octree-sampled representation of a convolution
+// result (paper §4, "Octrees for adaptive sampling").
+//
+// Payload layout: samples are stored cell by cell in octree order; within a
+// cell, sample (ix, iy, iz) of the (side/rate)^3 lattice is at
+// sample_offset + (iz·e + iy)·e + ix with e = side/rate, x fastest —
+// mirroring the dense field layout so plane-by-plane writers stream.
+#pragma once
+
+#include <memory>
+
+#include "common/aligned.hpp"
+#include "sampling/octree.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::sampling {
+
+/// Reconstruction order. Trilinear matches the paper's POC; tricubic
+/// (Catmull-Rom) is the higher-order option the paper's future-work
+/// section anticipates — noticeably lower error on smooth far fields for
+/// the same sample payload (see bench_ablation_sampling).
+enum class Interpolation {
+  kTrilinear,
+  kTricubic,
+};
+
+/// An adaptively sampled scalar field: shared octree + sample payload.
+class CompressedField {
+ public:
+  /// Zero-initialised payload over `tree`'s sampling pattern.
+  explicit CompressedField(std::shared_ptr<const Octree> tree);
+
+  /// Sample a dense field through the octree (gathers the retained lattice).
+  static CompressedField compress(const RealField& full,
+                                  std::shared_ptr<const Octree> tree);
+
+  [[nodiscard]] const Octree& octree() const noexcept { return *tree_; }
+  [[nodiscard]] std::shared_ptr<const Octree> octree_ptr() const noexcept {
+    return tree_;
+  }
+  [[nodiscard]] std::span<double> samples() noexcept {
+    return {samples_.data(), samples_.size()};
+  }
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return {samples_.data(), samples_.size()};
+  }
+
+  /// Payload size in bytes (what accumulation actually communicates).
+  [[nodiscard]] std::size_t sample_bytes() const noexcept {
+    return samples_.size() * sizeof(double);
+  }
+  /// Metadata size in bytes (5 int32 per cell).
+  [[nodiscard]] std::size_t metadata_bytes() const noexcept {
+    return tree_->cells().size() * 5 * sizeof(std::int32_t);
+  }
+
+  /// Interpolated value at grid point p (within p's cell; tricubic clamps
+  /// its 4-point stencil at cell faces, degrading gracefully to lower
+  /// order there).
+  [[nodiscard]] double value_at(
+      const Index3& p, Interpolation interp = Interpolation::kTrilinear) const;
+
+  /// Add the interpolated reconstruction over `region` into `out`, where
+  /// `out` is a tight field covering exactly `region` of the global grid.
+  void reconstruct_add(RealField& out, const Box3& region,
+                       Interpolation interp = Interpolation::kTrilinear) const;
+
+  /// Reconstruct the full grid (dense); convenience for error measurement.
+  [[nodiscard]] RealField reconstruct(
+      Interpolation interp = Interpolation::kTrilinear) const;
+
+ private:
+  static double interpolate_in_cell(const OctreeCell& cell,
+                                    std::span<const double> payload,
+                                    const Index3& p, Interpolation interp);
+
+  std::shared_ptr<const Octree> tree_;
+  AlignedVector<double> samples_;
+};
+
+}  // namespace lc::sampling

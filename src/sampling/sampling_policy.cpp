@@ -1,0 +1,78 @@
+#include "sampling/sampling_policy.hpp"
+
+#include "common/check.hpp"
+#include "fft/fft1d.hpp"
+
+namespace lc::sampling {
+
+SamplingPolicy::SamplingPolicy(std::vector<RateBand> bands, i64 far_rate,
+                               i64 boundary_band)
+    : bands_(std::move(bands)), far_rate_(far_rate),
+      boundary_band_(boundary_band) {
+  LC_CHECK_ARG(far_rate_ >= 1, "far rate must be >= 1");
+  LC_CHECK_ARG(fft::is_pow2(static_cast<std::size_t>(far_rate_)),
+               "rates must be powers of two");
+  LC_CHECK_ARG(boundary_band_ >= 0, "boundary band must be >= 0");
+  i64 prev = -1;
+  for (const auto& b : bands_) {
+    LC_CHECK_ARG(b.max_distance > prev, "bands must be sorted by distance");
+    LC_CHECK_ARG(b.rate >= 1 &&
+                     fft::is_pow2(static_cast<std::size_t>(b.rate)),
+                 "rates must be powers of two >= 1");
+    prev = b.max_distance;
+  }
+}
+
+SamplingPolicy SamplingPolicy::paper_default(i64 k, i64 far_rate,
+                                             i64 boundary_band,
+                                             i64 dense_halo) {
+  LC_CHECK_ARG(k >= 1, "sub-domain size must be >= 1");
+  LC_CHECK_ARG(dense_halo >= 0, "halo must be >= 0");
+  std::vector<RateBand> bands;
+  if (dense_halo > 0) bands.push_back({dense_halo, 1});
+  if (k / 2 > dense_halo) bands.push_back({k / 2, 2});
+  if (4 * k > std::max(k / 2, dense_halo)) bands.push_back({4 * k, 8});
+  return SamplingPolicy(std::move(bands), far_rate, boundary_band);
+}
+
+SamplingPolicy SamplingPolicy::uniform(i64 rate, i64 boundary_band) {
+  return SamplingPolicy({}, rate, boundary_band);
+}
+
+i64 SamplingPolicy::rate_at_distance(i64 dist) const noexcept {
+  if (dist <= 0) return 1;  // on or inside the sub-domain: full resolution
+  for (const auto& b : bands_) {
+    if (dist <= b.max_distance) return b.rate;
+  }
+  return far_rate_;
+}
+
+i64 SamplingPolicy::rate_at(const Index3& p, const Box3& subdomain,
+                            const Grid3& grid) const noexcept {
+  if (boundary_band_ > 0 && boundary_distance(p, grid) < boundary_band_) {
+    return 1;
+  }
+  // Periodic distance: circular-convolution responses wrap, so sampling
+  // density must too.
+  return rate_at_distance(torus_chebyshev_distance(subdomain, p, grid));
+}
+
+double SamplingPolicy::effective_exterior_rate(const Grid3& grid,
+                                               const Box3& subdomain) const {
+  // Count retained samples outside the sub-domain exactly and invert:
+  // (exterior volume / exterior samples)^(1/3).
+  std::size_t exterior_points = 0;
+  std::size_t exterior_samples = 0;
+  for_each_point(Box3::of(grid), [&](const Index3& p) {
+    if (subdomain.contains(p)) return;
+    ++exterior_points;
+    const i64 r = rate_at(p, subdomain, grid);
+    // A point is retained iff all its coordinates are multiples of r.
+    if (p.x % r == 0 && p.y % r == 0 && p.z % r == 0) ++exterior_samples;
+  });
+  if (exterior_samples == 0) return 1.0;
+  return std::cbrt(static_cast<double>(exterior_points) /
+                   static_cast<double>(exterior_samples));
+}
+
+}  // namespace lc::sampling

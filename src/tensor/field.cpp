@@ -1,0 +1,31 @@
+#include "tensor/field.hpp"
+
+#include <algorithm>
+
+namespace lc {
+
+double relative_l2_error(std::span<const double> approx,
+                         std::span<const double> reference) {
+  LC_CHECK_ARG(approx.size() == reference.size(),
+               "relative_l2_error: size mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double d = approx[i] - reference[i];
+    num += d * d;
+    den += reference[i] * reference[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  LC_CHECK_ARG(a.size() == b.size(), "max_abs_error: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace lc

@@ -1,0 +1,133 @@
+// Field<T>: an owning 3D array over a Grid3, plus region copy helpers and
+// norms. The workhorse container of the library.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "tensor/grid.hpp"
+
+namespace lc {
+
+/// Owning, aligned, dense 3D array with x-fastest layout.
+template <typename T>
+class Field {
+ public:
+  Field() = default;
+  explicit Field(const Grid3& grid, T init = T{})
+      : grid_(grid), data_(grid.size(), init) {}
+
+  [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(i64 x, i64 y, i64 z) noexcept {
+    LC_ASSERT(grid_.contains({x, y, z}));
+    return data_[grid_.index(x, y, z)];
+  }
+  [[nodiscard]] const T& operator()(i64 x, i64 y, i64 z) const noexcept {
+    LC_ASSERT(grid_.contains({x, y, z}));
+    return data_[grid_.index(x, y, z)];
+  }
+  [[nodiscard]] T& operator()(const Index3& p) noexcept { return (*this)(p.x, p.y, p.z); }
+  [[nodiscard]] const T& operator()(const Index3& p) const noexcept {
+    return (*this)(p.x, p.y, p.z);
+  }
+  [[nodiscard]] T& operator[](std::size_t lin) noexcept { return data_[lin]; }
+  [[nodiscard]] const T& operator[](std::size_t lin) const noexcept { return data_[lin]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Extract a sub-box into a new tight field.
+  [[nodiscard]] Field extract(const Box3& box) const {
+    LC_CHECK_ARG(Box3::of(grid_).contains(box), "extract box outside field");
+    Field out(box.extents());
+    for (i64 z = box.lo.z; z < box.hi.z; ++z) {
+      for (i64 y = box.lo.y; y < box.hi.y; ++y) {
+        const T* src = &(*this)(box.lo.x, y, z);
+        T* dst = &out(0, y - box.lo.y, z - box.lo.z);
+        std::copy(src, src + (box.hi.x - box.lo.x), dst);
+      }
+    }
+    return out;
+  }
+
+  /// Copy `src` (a tight field) into this field at `corner`.
+  void insert(const Field& src, const Index3& corner) {
+    const Box3 box{corner,
+                   {corner.x + src.grid().nx, corner.y + src.grid().ny,
+                    corner.z + src.grid().nz}};
+    LC_CHECK_ARG(Box3::of(grid_).contains(box), "insert box outside field");
+    for (i64 z = 0; z < src.grid().nz; ++z) {
+      for (i64 y = 0; y < src.grid().ny; ++y) {
+        const T* s = &src(0, y, z);
+        std::copy(s, s + src.grid().nx, &(*this)(corner.x, corner.y + y, corner.z + z));
+      }
+    }
+  }
+
+  /// Add `src` (a tight field) into this field at `corner`.
+  void accumulate(const Field& src, const Index3& corner) {
+    const Box3 box{corner,
+                   {corner.x + src.grid().nx, corner.y + src.grid().ny,
+                    corner.z + src.grid().nz}};
+    LC_CHECK_ARG(Box3::of(grid_).contains(box), "accumulate box outside field");
+    for (i64 z = 0; z < src.grid().nz; ++z) {
+      for (i64 y = 0; y < src.grid().ny; ++y) {
+        const T* s = &src(0, y, z);
+        T* d = &(*this)(corner.x, corner.y + y, corner.z + z);
+        for (i64 x = 0; x < src.grid().nx; ++x) d[x] += s[x];
+      }
+    }
+  }
+
+  friend bool operator==(const Field&, const Field&) = default;
+
+ private:
+  Grid3 grid_;
+  AlignedVector<T> data_;
+};
+
+using RealField = Field<double>;
+using ComplexField = Field<std::complex<double>>;
+
+/// Squared L2 norm of a span of reals or complexes.
+template <typename T>
+[[nodiscard]] double l2_norm_sq(std::span<T> v) {
+  using V = std::remove_const_t<T>;
+  double acc = 0.0;
+  for (const auto& x : v) {
+    if constexpr (std::is_same_v<V, std::complex<double>>) {
+      acc += std::norm(x);
+    } else {
+      acc += static_cast<double>(x) * static_cast<double>(x);
+    }
+  }
+  return acc;
+}
+
+/// L2 norm.
+template <typename T>
+[[nodiscard]] double l2_norm(std::span<T> v) {
+  return std::sqrt(l2_norm_sq(v));
+}
+
+/// Relative L2 error ||a - b|| / ||b||. Returns ||a|| if b is zero.
+[[nodiscard]] double relative_l2_error(std::span<const double> approx,
+                                       std::span<const double> reference);
+
+/// Maximum absolute difference.
+[[nodiscard]] double max_abs_error(std::span<const double> a,
+                                   std::span<const double> b);
+
+}  // namespace lc

@@ -1,0 +1,37 @@
+#include "tensor/grid.hpp"
+
+#include <sstream>
+
+namespace lc {
+
+std::string Index3::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Index3& p) {
+  return os << '(' << p.x << ", " << p.y << ", " << p.z << ')';
+}
+
+std::string Grid3::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Grid3& g) {
+  return os << g.nx << 'x' << g.ny << 'x' << g.nz;
+}
+
+std::string Box3::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box3& b) {
+  return os << '[' << b.lo << ", " << b.hi << ')';
+}
+
+}  // namespace lc

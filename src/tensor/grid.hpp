@@ -1,0 +1,182 @@
+// 3D index space descriptions: Index3 points, Grid3 extents, Box3 regions.
+//
+// Convention used across the library: x is the fastest-varying dimension in
+// memory, z the slowest. Linear index of (x, y, z) on an (nx, ny, nz) grid is
+// (z * ny + y) * nx + x.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace lc {
+
+using i64 = std::int64_t;
+
+/// A 3D integer point or offset.
+struct Index3 {
+  i64 x = 0;
+  i64 y = 0;
+  i64 z = 0;
+
+  friend constexpr bool operator==(const Index3&, const Index3&) = default;
+
+  constexpr Index3 operator+(const Index3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Index3 operator-(const Index3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Index3& p);
+
+/// Extents of a 3D grid. Also provides linear indexing.
+struct Grid3 {
+  i64 nx = 0;
+  i64 ny = 0;
+  i64 nz = 0;
+
+  constexpr Grid3() = default;
+  constexpr Grid3(i64 nx_, i64 ny_, i64 nz_) : nx(nx_), ny(ny_), nz(nz_) {}
+  /// Cubic grid of side n.
+  static constexpr Grid3 cube(i64 n) { return {n, n, n}; }
+
+  friend constexpr bool operator==(const Grid3&, const Grid3&) = default;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  [[nodiscard]] constexpr bool contains(const Index3& p) const noexcept {
+    return p.x >= 0 && p.x < nx && p.y >= 0 && p.y < ny && p.z >= 0 && p.z < nz;
+  }
+
+  /// Linear index of (x, y, z); x fastest.
+  [[nodiscard]] constexpr std::size_t index(i64 x, i64 y, i64 z) const noexcept {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+  [[nodiscard]] constexpr std::size_t index(const Index3& p) const noexcept {
+    return index(p.x, p.y, p.z);
+  }
+
+  /// Inverse of index(): recover (x, y, z) from a linear offset.
+  [[nodiscard]] constexpr Index3 unindex(std::size_t lin) const noexcept {
+    const auto unx = static_cast<std::size_t>(nx);
+    const auto uny = static_cast<std::size_t>(ny);
+    return Index3{static_cast<i64>(lin % unx),
+                  static_cast<i64>((lin / unx) % uny),
+                  static_cast<i64>(lin / (unx * uny))};
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Grid3& g);
+
+/// Half-open axis-aligned box [lo, hi) in index space.
+struct Box3 {
+  Index3 lo;
+  Index3 hi;
+
+  friend constexpr bool operator==(const Box3&, const Box3&) = default;
+
+  /// Box covering a full grid.
+  static constexpr Box3 of(const Grid3& g) {
+    return {{0, 0, 0}, {g.nx, g.ny, g.nz}};
+  }
+  /// Cube of side k with corner at `corner`.
+  static constexpr Box3 cube_at(const Index3& corner, i64 k) {
+    return {corner, {corner.x + k, corner.y + k, corner.z + k}};
+  }
+
+  [[nodiscard]] constexpr Grid3 extents() const noexcept {
+    return {hi.x - lo.x, hi.y - lo.y, hi.z - lo.z};
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z;
+  }
+  [[nodiscard]] constexpr std::size_t volume() const noexcept {
+    return empty() ? 0 : extents().size();
+  }
+  [[nodiscard]] constexpr bool contains(const Index3& p) const noexcept {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+  [[nodiscard]] constexpr bool contains(const Box3& b) const noexcept {
+    return b.empty() || (lo.x <= b.lo.x && b.hi.x <= hi.x && lo.y <= b.lo.y &&
+                         b.hi.y <= hi.y && lo.z <= b.lo.z && b.hi.z <= hi.z);
+  }
+
+  /// Intersection (possibly empty).
+  [[nodiscard]] constexpr Box3 intersect(const Box3& b) const noexcept {
+    Box3 r{{std::max(lo.x, b.lo.x), std::max(lo.y, b.lo.y), std::max(lo.z, b.lo.z)},
+           {std::min(hi.x, b.hi.x), std::min(hi.y, b.hi.y), std::min(hi.z, b.hi.z)}};
+    return r;
+  }
+
+  /// Chebyshev (L-infinity) distance from point p to this box; 0 if inside.
+  [[nodiscard]] constexpr i64 chebyshev_distance(const Index3& p) const noexcept {
+    auto axis = [](i64 v, i64 lo_, i64 hi_) -> i64 {
+      if (v < lo_) return lo_ - v;
+      if (v >= hi_) return v - (hi_ - 1);
+      return 0;
+    };
+    const i64 dx = axis(p.x, lo.x, hi.x);
+    const i64 dy = axis(p.y, lo.y, hi.y);
+    const i64 dz = axis(p.z, lo.z, hi.z);
+    return std::max({dx, dy, dz});
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box3& b);
+
+/// Distance from coordinate v to the interval [lo, hi-1] on a ring of size
+/// n (periodic wrap in both directions). 0 if v is inside.
+[[nodiscard]] constexpr i64 torus_axis_distance(i64 v, i64 lo, i64 hi,
+                                                i64 n) noexcept {
+  if (v >= lo && v < hi) return 0;
+  const i64 down = ((lo - v) % n + n) % n;      // steps forward to reach lo
+  const i64 up = ((v - (hi - 1)) % n + n) % n;  // steps back from hi-1
+  return std::min(down, up);
+}
+
+/// Chebyshev distance from point p to box b on the 3-torus of `g`.
+/// This is the right distance notion for circular convolution: a response
+/// wraps around the grid, so a sub-domain near one face influences the
+/// opposite face at small *periodic* distance.
+[[nodiscard]] constexpr i64 torus_chebyshev_distance(const Box3& b,
+                                                     const Index3& p,
+                                                     const Grid3& g) noexcept {
+  const i64 dx = torus_axis_distance(p.x, b.lo.x, b.hi.x, g.nx);
+  const i64 dy = torus_axis_distance(p.y, b.lo.y, b.hi.y, g.ny);
+  const i64 dz = torus_axis_distance(p.z, b.lo.z, b.hi.z, g.nz);
+  return std::max({dx, dy, dz});
+}
+
+/// Visit every point of a box in memory order (x fastest).
+template <typename F>
+void for_each_point(const Box3& b, F&& f) {
+  for (i64 z = b.lo.z; z < b.hi.z; ++z) {
+    for (i64 y = b.lo.y; y < b.hi.y; ++y) {
+      for (i64 x = b.lo.x; x < b.hi.x; ++x) {
+        f(Index3{x, y, z});
+      }
+    }
+  }
+}
+
+}  // namespace lc

@@ -1,0 +1,116 @@
+#include "tensor/sym_tensor.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace lc {
+
+Stiffness isotropic_stiffness(double lambda, double mu) {
+  Stiffness c;
+  auto delta = [](std::size_t i, std::size_t j) { return i == j ? 1.0 : 0.0; };
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i; j < 3; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        for (std::size_t l = k; l < 3; ++l) {
+          c.at(i, j, k, l) = lambda * delta(i, j) * delta(k, l) +
+                             mu * (delta(i, k) * delta(j, l) +
+                                   delta(i, l) * delta(j, k));
+        }
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Voigt matrix of the linear map e → C : e (folds the shear-doubling
+/// weights of the implicit (k,l)+(l,k) sum into the columns).
+std::array<std::array<double, 6>, 6> weighted_matrix(
+    const SymTensor4<double>& c) {
+  std::array<std::array<double, 6>, 6> m{};
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      m[a][b] = c.m[a][b] * (b < 3 ? 1.0 : 2.0);
+    }
+  }
+  return m;
+}
+
+SymTensor4<double> from_weighted(
+    const std::array<std::array<double, 6>, 6>& m) {
+  SymTensor4<double> c;
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      c.m[a][b] = m[a][b] / (b < 3 ? 1.0 : 2.0);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+SymTensor4<double> invert_sym4(const SymTensor4<double>& c) {
+  // Gauss-Jordan with partial pivoting on the 6x6 weighted matrix.
+  auto a = weighted_matrix(c);
+  std::array<std::array<double, 6>, 6> inv{};
+  for (std::size_t i = 0; i < 6; ++i) inv[i][i] = 1.0;
+
+  for (std::size_t col = 0; col < 6; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < 6; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    LC_CHECK_ARG(std::abs(a[pivot][col]) > 1e-300,
+                 "rank-4 tensor is singular");
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const double d = a[col][col];
+    for (std::size_t j = 0; j < 6; ++j) {
+      a[col][j] /= d;
+      inv[col][j] /= d;
+    }
+    for (std::size_t r = 0; r < 6; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < 6; ++j) {
+        a[r][j] -= f * a[col][j];
+        inv[r][j] -= f * inv[col][j];
+      }
+    }
+  }
+  return from_weighted(inv);
+}
+
+SymTensor4<double> compose_sym4(const SymTensor4<double>& a,
+                                const SymTensor4<double>& b) {
+  const auto aw = weighted_matrix(a);
+  const auto bw = weighted_matrix(b);
+  std::array<std::array<double, 6>, 6> t{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) acc += aw[i][k] * bw[k][j];
+      t[i][j] = acc;
+    }
+  }
+  return from_weighted(t);
+}
+
+SymTensor4<double> identity_sym4() {
+  SymTensor4<double> id;
+  for (std::size_t a = 0; a < 6; ++a) id.m[a][a] = (a < 3) ? 1.0 : 0.5;
+  return id;
+}
+
+Lame lame_from_young_poisson(double E, double nu) {
+  LC_CHECK_ARG(E > 0.0, "Young's modulus must be positive");
+  LC_CHECK_ARG(nu > -1.0 && nu < 0.5, "Poisson ratio outside (-1, 0.5)");
+  Lame p;
+  p.lambda = E * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  p.mu = E / (2.0 * (1.0 + nu));
+  return p;
+}
+
+}  // namespace lc

@@ -1,0 +1,191 @@
+// Symmetric rank-2 tensors (stress/strain at a voxel) and rank-4 tensors
+// with minor symmetries (stiffness, Green's operator), in Voigt storage.
+//
+// Voigt component order used throughout: (xx, yy, zz, yz, xz, xy).
+// Rank-4 tensors store raw tensor components C_ijkl (not engineering
+// constants); all symmetry doubling factors are applied inside the
+// contraction routines so callers never see them.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace lc {
+
+/// Map a symmetric index pair (i, j), i,j in {0,1,2}, to a Voigt slot 0..5.
+[[nodiscard]] constexpr std::size_t voigt_index(std::size_t i, std::size_t j) noexcept {
+  // (0,0)->0 (1,1)->1 (2,2)->2 (1,2)/(2,1)->3 (0,2)/(2,0)->4 (0,1)/(1,0)->5
+  if (i == j) return i;
+  const std::size_t s = i + j;  // 3 -> yz, 2 -> xz, 1 -> xy
+  if (s == 3) return 3;
+  if (s == 2) return 4;
+  return 5;
+}
+
+/// Inverse of voigt_index: Voigt slot -> (i, j) with i <= j.
+[[nodiscard]] constexpr std::array<std::size_t, 2> voigt_pair(std::size_t a) noexcept {
+  constexpr std::array<std::array<std::size_t, 2>, 6> table{
+      {{0, 0}, {1, 1}, {2, 2}, {1, 2}, {0, 2}, {0, 1}}};
+  return table[a];
+}
+
+/// Symmetric 3x3 tensor of T (double for spatial fields, complex for spectra).
+template <typename T>
+struct SymTensor2 {
+  std::array<T, 6> v{};  // Voigt order (xx, yy, zz, yz, xz, xy)
+
+  constexpr SymTensor2() = default;
+
+  /// Access by tensor indices; symmetric.
+  [[nodiscard]] constexpr T& at(std::size_t i, std::size_t j) noexcept {
+    return v[voigt_index(i, j)];
+  }
+  [[nodiscard]] constexpr const T& at(std::size_t i, std::size_t j) const noexcept {
+    return v[voigt_index(i, j)];
+  }
+  [[nodiscard]] constexpr T& operator[](std::size_t a) noexcept { return v[a]; }
+  [[nodiscard]] constexpr const T& operator[](std::size_t a) const noexcept { return v[a]; }
+
+  /// Identity (Kronecker delta) scaled by s.
+  static constexpr SymTensor2 spherical(T s) {
+    SymTensor2 t;
+    t.v[0] = t.v[1] = t.v[2] = s;
+    return t;
+  }
+
+  [[nodiscard]] constexpr T trace() const noexcept { return v[0] + v[1] + v[2]; }
+
+  constexpr SymTensor2& operator+=(const SymTensor2& o) noexcept {
+    for (std::size_t a = 0; a < 6; ++a) v[a] += o.v[a];
+    return *this;
+  }
+  constexpr SymTensor2& operator-=(const SymTensor2& o) noexcept {
+    for (std::size_t a = 0; a < 6; ++a) v[a] -= o.v[a];
+    return *this;
+  }
+  constexpr SymTensor2& operator*=(T s) noexcept {
+    for (std::size_t a = 0; a < 6; ++a) v[a] *= s;
+    return *this;
+  }
+  friend constexpr SymTensor2 operator+(SymTensor2 a, const SymTensor2& b) noexcept {
+    return a += b;
+  }
+  friend constexpr SymTensor2 operator-(SymTensor2 a, const SymTensor2& b) noexcept {
+    return a -= b;
+  }
+  friend constexpr SymTensor2 operator*(SymTensor2 a, T s) noexcept { return a *= s; }
+
+  friend constexpr bool operator==(const SymTensor2&, const SymTensor2&) = default;
+
+  /// Full double contraction a : b = a_ij b_ij (off-diagonals count twice).
+  [[nodiscard]] constexpr T ddot(const SymTensor2& o) const noexcept {
+    T acc = v[0] * o.v[0] + v[1] * o.v[1] + v[2] * o.v[2];
+    acc += T(2) * (v[3] * o.v[3] + v[4] * o.v[4] + v[5] * o.v[5]);
+    return acc;
+  }
+
+  /// Frobenius norm sqrt(a : a); only for real T.
+  [[nodiscard]] double norm() const noexcept
+    requires std::is_floating_point_v<T>
+  {
+    return std::sqrt(ddot(*this));
+  }
+};
+
+using Sym2 = SymTensor2<double>;
+using Sym2c = SymTensor2<std::complex<double>>;
+
+/// Rank-4 tensor with minor symmetries C_ijkl = C_jikl = C_ijlk, stored as a
+/// 6x6 Voigt matrix of raw tensor components. Major symmetry (C_ijkl =
+/// C_klij) is not enforced structurally, but holds for stiffness and Green
+/// operators; `is_major_symmetric` checks it.
+template <typename T>
+struct SymTensor4 {
+  std::array<std::array<T, 6>, 6> m{};  // m[a][b] = C_{pair(a) pair(b)}
+
+  [[nodiscard]] constexpr T& at(std::size_t i, std::size_t j, std::size_t k,
+                                std::size_t l) noexcept {
+    return m[voigt_index(i, j)][voigt_index(k, l)];
+  }
+  [[nodiscard]] constexpr const T& at(std::size_t i, std::size_t j, std::size_t k,
+                                      std::size_t l) const noexcept {
+    return m[voigt_index(i, j)][voigt_index(k, l)];
+  }
+
+  constexpr SymTensor4& operator+=(const SymTensor4& o) noexcept {
+    for (std::size_t a = 0; a < 6; ++a)
+      for (std::size_t b = 0; b < 6; ++b) m[a][b] += o.m[a][b];
+    return *this;
+  }
+  constexpr SymTensor4& operator-=(const SymTensor4& o) noexcept {
+    for (std::size_t a = 0; a < 6; ++a)
+      for (std::size_t b = 0; b < 6; ++b) m[a][b] -= o.m[a][b];
+    return *this;
+  }
+  constexpr SymTensor4& operator*=(T s) noexcept {
+    for (std::size_t a = 0; a < 6; ++a)
+      for (std::size_t b = 0; b < 6; ++b) m[a][b] *= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const SymTensor4&, const SymTensor4&) = default;
+
+  /// Double contraction (C : e)_ij = C_ijkl e_kl. The factor 2 on shear
+  /// slots accounts for the (k,l)+(l,k) pair in the implicit sum.
+  template <typename U>
+  [[nodiscard]] constexpr auto ddot(const SymTensor2<U>& e) const noexcept {
+    using R = decltype(T{} * U{});
+    SymTensor2<R> out;
+    for (std::size_t a = 0; a < 6; ++a) {
+      R acc{};
+      for (std::size_t b = 0; b < 6; ++b) {
+        const R term = m[a][b] * e.v[b];
+        acc += (b < 3) ? term : R(2) * term;
+      }
+      out.v[a] = acc;
+    }
+    return out;
+  }
+
+  /// Check major symmetry C_ijkl == C_klij within `tol`.
+  [[nodiscard]] bool is_major_symmetric(double tol = 1e-12) const noexcept {
+    for (std::size_t a = 0; a < 6; ++a) {
+      for (std::size_t b = 0; b < 6; ++b) {
+        if (std::abs(m[a][b] - m[b][a]) > tol) return false;
+      }
+    }
+    return true;
+  }
+};
+
+using Stiffness = SymTensor4<double>;
+using Green4 = SymTensor4<double>;
+
+/// Isotropic stiffness C_ijkl = λ δij δkl + μ (δik δjl + δil δjk).
+[[nodiscard]] Stiffness isotropic_stiffness(double lambda, double mu);
+
+/// Inverse of a rank-4 tensor as a map on symmetric rank-2 tensors:
+/// invert_sym4(C).ddot(C.ddot(e)) == e. Throws InvalidArgument if the map
+/// is singular. (Compliance tensor of a stiffness, and the (C + C0)⁻¹
+/// factor of accelerated fixed-point schemes.)
+[[nodiscard]] SymTensor4<double> invert_sym4(const SymTensor4<double>& c);
+
+/// Composition of rank-4 maps: compose(A, B).ddot(e) == A.ddot(B.ddot(e)).
+[[nodiscard]] SymTensor4<double> compose_sym4(const SymTensor4<double>& a,
+                                              const SymTensor4<double>& b);
+
+/// Identity map on symmetric rank-2 tensors.
+[[nodiscard]] SymTensor4<double> identity_sym4();
+
+/// Lamé parameters from Young's modulus E and Poisson ratio ν.
+struct Lame {
+  double lambda = 0.0;
+  double mu = 0.0;
+};
+[[nodiscard]] Lame lame_from_young_poisson(double E, double nu);
+
+}  // namespace lc

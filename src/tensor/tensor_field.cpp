@@ -1,0 +1,23 @@
+#include "tensor/tensor_field.hpp"
+
+namespace lc {
+
+double SymTensorField::relative_error_to(const SymTensorField& ref) const {
+  LC_CHECK_ARG(grid_ == ref.grid_, "tensor field grids differ");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t a = 0; a < 6; ++a) {
+    const double w = (a < 3) ? 1.0 : 2.0;
+    const auto mine = comp_[a].span();
+    const auto other = ref.comp_[a].span();
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const double d = mine[i] - other[i];
+      num += w * d * d;
+      den += w * other[i] * other[i];
+    }
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace lc

@@ -1,0 +1,63 @@
+// A field of symmetric rank-2 tensors stored structure-of-arrays: six dense
+// scalar component fields over the same grid. SoA keeps each component
+// contiguous so it can be handed straight to the FFT substrate.
+#pragma once
+
+#include <array>
+
+#include "tensor/field.hpp"
+#include "tensor/sym_tensor.hpp"
+
+namespace lc {
+
+/// Symmetric tensor field over a 3D grid, one dense array per Voigt slot.
+class SymTensorField {
+ public:
+  SymTensorField() = default;
+  explicit SymTensorField(const Grid3& grid) {
+    for (auto& c : comp_) c = RealField(grid);
+    grid_ = grid;
+  }
+
+  [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+
+  /// Dense scalar field of Voigt component a (0..5).
+  [[nodiscard]] RealField& component(std::size_t a) noexcept { return comp_[a]; }
+  [[nodiscard]] const RealField& component(std::size_t a) const noexcept {
+    return comp_[a];
+  }
+
+  /// Tensor value at a voxel (gathers the six components).
+  [[nodiscard]] Sym2 at(const Index3& p) const noexcept {
+    Sym2 t;
+    for (std::size_t a = 0; a < 6; ++a) t.v[a] = comp_[a](p);
+    return t;
+  }
+  void set(const Index3& p, const Sym2& t) noexcept {
+    for (std::size_t a = 0; a < 6; ++a) comp_[a](p) = t.v[a];
+  }
+
+  /// Fill every voxel with the same tensor.
+  void fill(const Sym2& t) {
+    for (std::size_t a = 0; a < 6; ++a) comp_[a].fill(t.v[a]);
+  }
+
+  /// Frobenius L2 norm over the whole field: sqrt(sum_x e(x) : e(x)).
+  [[nodiscard]] double l2_norm() const {
+    double acc = 0.0;
+    for (std::size_t a = 0; a < 6; ++a) {
+      const double n = l2_norm_sq(comp_[a].span());
+      acc += (a < 3) ? n : 2.0 * n;
+    }
+    return std::sqrt(acc);
+  }
+
+  /// Relative L2 distance to another field of the same shape.
+  [[nodiscard]] double relative_error_to(const SymTensorField& ref) const;
+
+ private:
+  Grid3 grid_;
+  std::array<RealField, 6> comp_;
+};
+
+}  // namespace lc

@@ -1,0 +1,128 @@
+// Tests for the traditional baselines: dense single-node convolution and
+// the distributed slab FFT with its two all-to-all transposes.
+#include <gtest/gtest.h>
+
+#include "baseline/dense.hpp"
+#include "baseline/distributed_fft.hpp"
+#include "common/rng.hpp"
+#include "fft/convolution.hpp"
+#include "green/gaussian.hpp"
+
+namespace lc::baseline {
+namespace {
+
+RealField random_field(const Grid3& g, std::uint64_t seed) {
+  RealField f(g);
+  SplitMix64 rng(seed);
+  for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+  return f;
+}
+
+TEST(DenseBaseline, MatchesFftConvolutionHelpers) {
+  const Grid3 g = Grid3::cube(16);
+  const green::GaussianSpectrum kernel(g, 1.5);
+  const RealField input = random_field(g, 1);
+
+  const RealField got = dense_convolve(input, kernel);
+  fft::Fft3D plan(g);
+  const RealField want =
+      fft::convolve_with_spectrum(input, kernel.materialize(g), plan);
+  EXPECT_LT(max_abs_error(got.span(), want.span()), 1e-11);
+}
+
+TEST(DenseBaseline, RegistersDenseWorkingSet) {
+  const Grid3 g = Grid3::cube(16);
+  const green::GaussianSpectrum kernel(g, 1.5);
+  device::DeviceContext ctx(device::DeviceSpec::unlimited());
+  (void)dense_convolve(random_field(g, 2), kernel, nullptr, &ctx);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  EXPECT_GE(ctx.peak_bytes(), 2u * 16 * g.size());  // field + workspace
+}
+
+TEST(DenseBaseline, CapacityLimitEnforced) {
+  const Grid3 g = Grid3::cube(32);
+  const green::GaussianSpectrum kernel(g, 1.5);
+  device::DeviceContext tiny({"tiny", 1 << 10});
+  EXPECT_THROW((void)dense_convolve(random_field(g, 3), kernel, nullptr, &tiny),
+               ResourceExhausted);
+}
+
+TEST(DenseBaseline, R2CPathMatchesComplexPath) {
+  const Grid3 g = Grid3::cube(16);
+  const green::GaussianSpectrum kernel(g, 1.7);
+  const RealField input = random_field(g, 5);
+  const RealField complex_path = dense_convolve(input, kernel);
+  const RealField real_path = dense_convolve_r2c(input, kernel);
+  EXPECT_LT(max_abs_error(real_path.span(), complex_path.span()), 1e-10);
+}
+
+TEST(DenseBaseline, R2CPathRegistersHalfTheSpectrum) {
+  const Grid3 g = Grid3::cube(16);
+  const green::GaussianSpectrum kernel(g, 1.7);
+  device::DeviceContext full_ctx(device::DeviceSpec::unlimited());
+  device::DeviceContext half_ctx(device::DeviceSpec::unlimited());
+  (void)dense_convolve(random_field(g, 6), kernel, nullptr, &full_ctx);
+  (void)dense_convolve_r2c(random_field(g, 6), kernel, nullptr, &half_ctx);
+  EXPECT_LT(half_ctx.peak_bytes(), full_ctx.peak_bytes());
+  EXPECT_GT(half_ctx.peak_bytes(), full_ctx.peak_bytes() / 3);
+}
+
+TEST(DenseBaseline, FootprintFormulaAndMaxGrid) {
+  EXPECT_EQ(dense_convolve_bytes(1024), 3ull * 8 * 1024 * 1024 * 1024);
+  // Paper §5.1: traditional cuFFT handles up to 1024³ (not 2048³) on the
+  // 32 GB V100.
+  EXPECT_EQ(dense_max_grid(device::DeviceSpec::v100_32gb()), 1024);
+  EXPECT_LT(dense_max_grid(device::DeviceSpec::v100_16gb()), 1024);
+}
+
+class DistributedFftTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedFftTest, MatchesDenseAcrossRankCounts) {
+  const int workers = GetParam();
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.3);
+  const RealField input = random_field(g, 7);
+
+  comm::SimCluster cluster(workers);
+  const RealField got = distributed_fft_convolve(cluster, input, kernel);
+  const RealField want = dense_convolve(input, *kernel);
+  EXPECT_LT(max_abs_error(got.span(), want.span()), 1e-10) << workers;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedFftTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(DistributedFft, PerformsExactlyTwoAllToAllRounds) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.3);
+  comm::SimCluster cluster(4);
+  (void)distributed_fft_convolve(cluster, random_field(g, 8), kernel);
+  // The paper's Fig 1a / Eqn 1: two all-to-all stages.
+  EXPECT_EQ(cluster.stats().collective_rounds.load(), 2u);
+}
+
+TEST(DistributedFft, MovesTheWholeSpectrumTwice) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.3);
+  const int workers = 4;
+  comm::SimCluster cluster(workers);
+  (void)distributed_fft_convolve(cluster, random_field(g, 9), kernel);
+  // Each transpose moves the off-diagonal (p-1)/p share of N³ complex
+  // values (2 doubles each); two transposes.
+  const std::size_t n3 = g.size();
+  const std::size_t expected =
+      2 * (n3 * (workers - 1) / workers) * 2 * sizeof(double);
+  EXPECT_EQ(cluster.stats().bytes_sent.load(), expected);
+}
+
+TEST(DistributedFft, RejectsIndivisibleRankCount) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.3);
+  comm::SimCluster cluster(3);
+  EXPECT_THROW(
+      (void)distributed_fft_convolve(cluster, random_field(g, 10), kernel),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lc::baseline

@@ -1,0 +1,222 @@
+// Tests for the cost model (Eqns 1, 2, 6) and the simulated cluster.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/cost_model.hpp"
+#include "comm/sim_cluster.hpp"
+
+namespace lc::comm {
+namespace {
+
+TEST(CostModel, AlphaBetaMessageTime) {
+  const AlphaBetaModel m{1e-5, 1e-9};
+  EXPECT_DOUBLE_EQ(m.message_time(0), 1e-5);
+  EXPECT_DOUBLE_EQ(m.message_time(1000), 1e-5 + 1e-6);
+  EXPECT_DOUBLE_EQ(m.rounds_time(3, 1000), 3.0 * (1e-5 + 1e-6));
+}
+
+TEST(CostModel, Eqn1TraditionalFftTime) {
+  // T = 2 N³ / (P β): doubling P halves it; doubling N gives 8x.
+  const double t1 = traditional_fft_comm_time(256, 4, 1e9);
+  const double t2 = traditional_fft_comm_time(256, 8, 1e9);
+  const double t3 = traditional_fft_comm_time(512, 4, 1e9);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-12);
+  EXPECT_NEAR(t3 / t1, 8.0, 1e-12);
+  EXPECT_NEAR(t1, 2.0 * 256.0 * 256.0 * 256.0 / (4.0 * 1e9), 1e-15);
+}
+
+TEST(CostModel, Eqn6ExchangePoints) {
+  // k³ + (N³-k³)/r³ exactly.
+  EXPECT_DOUBLE_EQ(lowcomm_exchange_points(8, 8, 4.0), 512.0);  // N == k
+  const double pts = lowcomm_exchange_points(64, 16, 2.0);
+  EXPECT_DOUBLE_EQ(pts, 4096.0 + (262144.0 - 4096.0) / 8.0);
+}
+
+TEST(CostModel, LowCommBeatsTraditional) {
+  // The paper's headline inequality T_ours < T_FFT for realistic shapes.
+  for (const i64 n : {256, 512, 1024, 2048}) {
+    const double ours = lowcomm_comm_time(n, 32, 8.0, 16, 1e9);
+    const double fft = traditional_fft_comm_time(n, 16, 1e9);
+    EXPECT_LT(ours, fft) << n;
+  }
+}
+
+TEST(CostModel, CommFractionReproducesGpuShiftShape) {
+  // §2.1: on CPUs ~49% of time is communication; accelerating compute 43×
+  // (GPUs) pushes the fraction toward 97% with communication unchanged.
+  const double comm_time = traditional_fft_comm_time(1024, 4, 2e9);
+  const double points = 1024.0 * 1024.0 * 1024.0;
+  const double cpu_rate = 1e9;
+  const double cpu_frac = comm_fraction(comm_time, points, cpu_rate);
+  const double gpu_frac = comm_fraction(comm_time, points, 43.0 * cpu_rate);
+  EXPECT_GT(gpu_frac, cpu_frac);
+  EXPECT_GT(gpu_frac, 0.9);
+  EXPECT_LT(cpu_frac, 0.6);
+}
+
+TEST(CostModel, RejectsBadArguments) {
+  EXPECT_THROW((void)traditional_fft_comm_time(0, 4, 1e9), InvalidArgument);
+  EXPECT_THROW((void)traditional_fft_comm_time(64, 4, 0.0), InvalidArgument);
+  EXPECT_THROW((void)lowcomm_exchange_points(16, 32, 2.0), InvalidArgument);
+  EXPECT_THROW((void)lowcomm_exchange_points(64, 16, 0.5), InvalidArgument);
+  EXPECT_THROW((void)comm_fraction(1.0, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(SimCluster, PointToPointDelivery) {
+  SimCluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      const std::vector<double> msg{1.0, 2.0, 3.0};
+      rank.send(1, msg);
+    } else {
+      const auto got = rank.recv(0);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(got[1], 2.0);
+    }
+  });
+  EXPECT_EQ(cluster.stats().bytes_sent.load(), 3 * sizeof(double));
+  EXPECT_EQ(cluster.stats().messages.load(), 1u);
+}
+
+TEST(SimCluster, ChannelsAreFifoPerPair) {
+  SimCluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      for (double v = 0; v < 10; ++v) {
+        rank.send(1, std::vector<double>{v});
+      }
+    } else {
+      for (double v = 0; v < 10; ++v) {
+        EXPECT_EQ(rank.recv(0).at(0), v);
+      }
+    }
+  });
+}
+
+TEST(SimCluster, AllToAllPersonalised) {
+  const int p = 4;
+  SimCluster cluster(p);
+  cluster.run([p](Rank& rank) {
+    std::vector<std::vector<double>> outgoing(p);
+    for (int d = 0; d < p; ++d) {
+      outgoing[static_cast<std::size_t>(d)] = {
+          static_cast<double>(rank.id() * 100 + d)};
+    }
+    const auto incoming = rank.all_to_all(outgoing);
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)].at(0),
+                static_cast<double>(s * 100 + rank.id()));
+    }
+  });
+  EXPECT_EQ(cluster.stats().collective_rounds.load(), 1u);
+  // Only off-diagonal buffers cross the network: p(p-1) messages.
+  EXPECT_EQ(cluster.stats().messages.load(),
+            static_cast<std::size_t>(p * (p - 1)));
+}
+
+TEST(SimCluster, AllGatherDeliversEverything) {
+  const int p = 3;
+  SimCluster cluster(p);
+  cluster.run([p](Rank& rank) {
+    std::vector<double> mine{static_cast<double>(rank.id()),
+                             static_cast<double>(rank.id() * 2)};
+    const auto all = rank.all_gather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(all[static_cast<std::size_t>(s)].at(0),
+                static_cast<double>(s));
+    }
+  });
+}
+
+TEST(SimCluster, AllReduceSum) {
+  const int p = 5;
+  SimCluster cluster(p);
+  std::atomic<int> checks{0};
+  cluster.run([&](Rank& rank) {
+    const double total = rank.all_reduce_sum(static_cast<double>(rank.id()));
+    EXPECT_DOUBLE_EQ(total, 10.0);  // 0+1+2+3+4
+    checks++;
+  });
+  EXPECT_EQ(checks.load(), p);
+}
+
+TEST(SimCluster, ConsecutiveReductionsDoNotInterfere) {
+  SimCluster cluster(3);
+  cluster.run([](Rank& rank) {
+    EXPECT_DOUBLE_EQ(rank.all_reduce_sum(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(rank.all_reduce_sum(2.0), 6.0);
+    EXPECT_DOUBLE_EQ(rank.all_reduce_sum(static_cast<double>(rank.id())), 3.0);
+  });
+}
+
+TEST(SimCluster, BarrierSynchronises) {
+  const int p = 4;
+  SimCluster cluster(p);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  cluster.run([&](Rank& rank) {
+    before++;
+    rank.barrier();
+    if (before.load() != p) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(SimCluster, StatsResetAndAccumulate) {
+  SimCluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) rank.send(1, std::vector<double>{1.0});
+    if (rank.id() == 1) (void)rank.recv(0);
+  });
+  EXPECT_GT(cluster.stats().bytes_sent.load(), 0u);
+  cluster.reset_stats();
+  EXPECT_EQ(cluster.stats().bytes_sent.load(), 0u);
+}
+
+TEST(SimCluster, ExceptionInRankBodyPropagates) {
+  SimCluster cluster(2);
+  EXPECT_THROW(cluster.run([](Rank& rank) {
+                 if (rank.id() == 1) throw std::runtime_error("rank boom");
+                 rank.barrier();
+               }),
+               std::runtime_error);
+  // The cluster stays usable after a failed run.
+  cluster.run([](Rank& rank) { rank.barrier(); });
+}
+
+TEST(SimCluster, ModeledTimePricesEveryMessage) {
+  const AlphaBetaModel link{1e-5, 1e-9};
+  SimCluster cluster(2, link);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) rank.send(1, std::vector<double>(1000));
+    if (rank.id() == 1) (void)rank.recv(0);
+  });
+  // One 8000-byte message: α + β·8000.
+  EXPECT_NEAR(cluster.stats().modeled_seconds(),
+              link.message_time(8000), 1e-9);
+  cluster.reset_stats();
+  EXPECT_EQ(cluster.stats().modeled_nanos.load(), 0);
+}
+
+TEST(SimCluster, ModeledTimeAccumulatesAcrossCollectives) {
+  SimCluster cluster(4);
+  cluster.run([](Rank& rank) {
+    std::vector<std::vector<double>> out(4, std::vector<double>(10));
+    (void)rank.all_to_all(out);
+  });
+  EXPECT_GT(cluster.stats().modeled_seconds(), 0.0);
+}
+
+TEST(SimCluster, RejectsBadRankArguments) {
+  SimCluster cluster(2);
+  EXPECT_THROW(cluster.run([](Rank& rank) {
+                 rank.send(7, std::vector<double>{1.0});
+               }),
+               InvalidArgument);
+  EXPECT_THROW(SimCluster(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lc::comm

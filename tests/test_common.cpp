@@ -1,0 +1,177 @@
+// Unit tests for src/common: checks, aligned allocation, thread pool, RNG,
+// table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace lc {
+namespace {
+
+TEST(Check, ArgCheckThrowsInvalidArgument) {
+  EXPECT_THROW(LC_CHECK_ARG(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(LC_CHECK_ARG(true, "fine"));
+}
+
+TEST(Check, InternalCheckThrowsInternalError) {
+  EXPECT_THROW(LC_CHECK(false, "bug"), InternalError);
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    LC_CHECK_ARG(1 == 2, "custom context");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Aligned, VectorStorageIsAligned) {
+  AlignedVector<double> v(1000);
+  const auto addr = reinterpret_cast<std::uintptr_t>(v.data());
+  EXPECT_EQ(addr % kAlignment, 0u);
+}
+
+TEST(Aligned, AllocatorEqualityIsStateless) {
+  AlignedAllocator<double> a;
+  AlignedAllocator<int> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForBlocksPartitionsContiguously) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  pool.parallel_for_blocks(0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    blocks.emplace_back(lo, hi);
+  });
+  std::size_t total = 0;
+  for (auto [lo, hi] : blocks) {
+    EXPECT_LT(lo, hi);
+    total += hi - lo;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysBelow) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  TextTable t("Demo");
+  t.header({"N", "k"});
+  t.row({"1024", "128"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("128"), std::string::npos);
+}
+
+TEST(Table, FormatBytesGb) {
+  EXPECT_EQ(format_bytes_gb(8.0 * 1024 * 1024 * 1024), "8.00");
+  EXPECT_EQ(format_bytes_gb(1.5 * 1024 * 1024 * 1024, 1), "1.5");
+}
+
+TEST(Table, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace lc

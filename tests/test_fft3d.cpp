@@ -1,0 +1,221 @@
+// Tests for the 3D FFT and dense convolution, validated against the direct
+// O(N^6) references on small grids.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fft/convolution.hpp"
+#include "fft/dft_direct.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/real_fft3d.hpp"
+
+namespace lc::fft {
+namespace {
+
+ComplexField random_complex_field(const Grid3& g, std::uint64_t seed) {
+  ComplexField f(g);
+  SplitMix64 rng(seed);
+  for (auto& v : f.span()) v = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return f;
+}
+
+RealField random_real_field(const Grid3& g, std::uint64_t seed) {
+  RealField f(g);
+  SplitMix64 rng(seed);
+  for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+  return f;
+}
+
+double max_err(const ComplexField& a, const ComplexField& b) {
+  double m = 0.0;
+  const auto pa = a.span();
+  const auto pb = b.span();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    m = std::max(m, std::abs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+class Fft3DGrids : public ::testing::TestWithParam<Grid3> {};
+
+TEST_P(Fft3DGrids, ForwardMatchesDirect) {
+  const Grid3 g = GetParam();
+  const ComplexField x = random_complex_field(g, 7);
+  const ComplexField want = dft3_direct_forward(x);
+  ComplexField got = x;
+  Fft3D plan(g);
+  plan.forward(got);
+  EXPECT_LT(max_err(got, want), 1e-9 * static_cast<double>(g.size()))
+      << g.str();
+}
+
+TEST_P(Fft3DGrids, RoundTripIsIdentity) {
+  const Grid3 g = GetParam();
+  const ComplexField x = random_complex_field(g, 8);
+  ComplexField y = x;
+  Fft3D plan(g);
+  plan.forward(y);
+  plan.inverse(y);
+  EXPECT_LT(max_err(y, x), 1e-10 * static_cast<double>(g.size())) << g.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrids, Fft3DGrids,
+                         ::testing::Values(Grid3{4, 4, 4}, Grid3{8, 8, 8},
+                                           Grid3{4, 6, 8}, Grid3{3, 5, 7},
+                                           Grid3{1, 4, 4}, Grid3{8, 1, 2}));
+
+TEST(Fft3D, SingleThreadedMatchesPooled) {
+  const Grid3 g{8, 8, 8};
+  const ComplexField x = random_complex_field(g, 21);
+  ComplexField a = x;
+  ComplexField b = x;
+  Fft3D pooled(g, &ThreadPool::global());
+  Fft3D serial(g, nullptr);
+  pooled.forward(a);
+  serial.forward(b);
+  EXPECT_LT(max_err(a, b), 1e-12);
+}
+
+TEST(Fft3D, AxisTransformsComposeToFull) {
+  const Grid3 g{8, 4, 8};
+  const ComplexField x = random_complex_field(g, 22);
+  ComplexField full = x;
+  ComplexField staged = x;
+  Fft3D plan(g);
+  plan.forward(full);
+  plan.transform_axis(staged, 0, false);
+  plan.transform_axis(staged, 1, false);
+  plan.transform_axis(staged, 2, false);
+  EXPECT_LT(max_err(full, staged), 1e-12);
+}
+
+TEST(Fft3D, WrongGridThrows) {
+  Fft3D plan(Grid3{4, 4, 4});
+  ComplexField f(Grid3{4, 4, 8});
+  EXPECT_THROW(plan.forward(f), InvalidArgument);
+}
+
+TEST(Fft3D, Parseval3D) {
+  const Grid3 g{8, 8, 8};
+  ComplexField x = random_complex_field(g, 23);
+  double time_energy = 0.0;
+  for (const auto& v : x.span()) time_energy += std::norm(v);
+  Fft3D plan(g);
+  plan.forward(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x.span()) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(g.size()), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(Convolution, FftMatchesDirectCircular) {
+  const Grid3 g{6, 6, 6};
+  const RealField a = random_real_field(g, 31);
+  const RealField b = random_real_field(g, 32);
+  const RealField want = circular_convolve_direct(a, b);
+  Fft3D plan(g);
+  const RealField got = fft_circular_convolve(a, b, plan);
+  EXPECT_LT(max_abs_error(got.span(), want.span()), 1e-9);
+}
+
+TEST(Convolution, ConvolveWithSpectrumMatchesTwoFieldPath) {
+  const Grid3 g{8, 8, 8};
+  const RealField a = random_real_field(g, 41);
+  const RealField kern = random_real_field(g, 42);
+  Fft3D plan(g);
+  const ComplexField kern_hat = forward_spectrum(kern, plan);
+  const RealField via_spec = convolve_with_spectrum(a, kern_hat, plan);
+  const RealField via_fields = fft_circular_convolve(a, kern, plan);
+  EXPECT_LT(max_abs_error(via_spec.span(), via_fields.span()), 1e-10);
+}
+
+TEST(Convolution, DeltaKernelIsIdentity) {
+  const Grid3 g{8, 8, 8};
+  const RealField a = random_real_field(g, 51);
+  RealField delta(g, 0.0);
+  delta(0, 0, 0) = 1.0;
+  Fft3D plan(g);
+  const RealField out = fft_circular_convolve(a, delta, plan);
+  EXPECT_LT(max_abs_error(out.span(), a.span()), 1e-10);
+}
+
+TEST(Convolution, ShiftedDeltaTranslates) {
+  const Grid3 g{8, 8, 8};
+  const RealField a = random_real_field(g, 52);
+  RealField delta(g, 0.0);
+  delta(1, 2, 3) = 1.0;
+  Fft3D plan(g);
+  const RealField out = fft_circular_convolve(a, delta, plan);
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    const Index3 q{(p.x - 1 + g.nx) % g.nx, (p.y - 2 + g.ny) % g.ny,
+                   (p.z - 3 + g.nz) % g.nz};
+    EXPECT_NEAR(out(p), a(q), 1e-10);
+  });
+}
+
+TEST(Convolution, IsCommutative) {
+  const Grid3 g{5, 5, 5};
+  const RealField a = random_real_field(g, 61);
+  const RealField b = random_real_field(g, 62);
+  Fft3D plan(g);
+  const RealField ab = fft_circular_convolve(a, b, plan);
+  const RealField ba = fft_circular_convolve(b, a, plan);
+  EXPECT_LT(max_abs_error(ab.span(), ba.span()), 1e-10);
+}
+
+class RealFft3DGrids : public ::testing::TestWithParam<Grid3> {};
+
+TEST_P(RealFft3DGrids, HalfSpectrumMatchesComplexTransform) {
+  const Grid3 g = GetParam();
+  const RealField x = random_real_field(g, 71);
+  RealFft3D rplan(g);
+  const ComplexField half = rplan.forward(x);
+  ASSERT_EQ(half.grid(), (Grid3{g.nx / 2 + 1, g.ny, g.nz}));
+
+  Fft3D cplan(g);
+  const ComplexField full = forward_spectrum(x, cplan);
+  for_each_point(Box3::of(half.grid()), [&](const Index3& p) {
+    EXPECT_LT(std::abs(half(p) - full(p)), 1e-9) << p.str();
+  });
+}
+
+TEST_P(RealFft3DGrids, RoundTripIsIdentity) {
+  const Grid3 g = GetParam();
+  const RealField x = random_real_field(g, 72);
+  RealFft3D plan(g);
+  const RealField back = plan.inverse(plan.forward(x));
+  EXPECT_LT(max_abs_error(back.span(), x.span()),
+            1e-10 * static_cast<double>(g.size()))
+      << g.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(RealGrids, RealFft3DGrids,
+                         ::testing::Values(Grid3{8, 8, 8}, Grid3{4, 6, 8},
+                                           Grid3{16, 8, 4}, Grid3{6, 5, 7}));
+
+TEST(RealFft3D, SerialMatchesPooled) {
+  const Grid3 g{8, 8, 8};
+  const RealField x = random_real_field(g, 73);
+  RealFft3D pooled(g, &ThreadPool::global());
+  RealFft3D serial(g, nullptr);
+  const ComplexField a = pooled.forward(x);
+  const ComplexField b = serial.forward(x);
+  EXPECT_LT(max_err(a, b), 1e-12);
+}
+
+TEST(RealFft3D, RejectsWrongShapes) {
+  RealFft3D plan(Grid3{8, 8, 8});
+  RealField wrong(Grid3{8, 8, 4});
+  EXPECT_THROW((void)plan.forward(wrong), InvalidArgument);
+  ComplexField bad_spec(Grid3{8, 8, 8});
+  EXPECT_THROW((void)plan.inverse(std::move(bad_spec)), InvalidArgument);
+}
+
+TEST(Convolution, GridMismatchThrows) {
+  RealField a(Grid3{4, 4, 4});
+  RealField b(Grid3{4, 4, 8});
+  Fft3D plan(Grid3{4, 4, 4});
+  EXPECT_THROW(fft_circular_convolve(a, b, plan), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lc::fft

@@ -1,0 +1,157 @@
+// Tests for the mini-FFTX plan API (paper §6, Fig 5): plan construction,
+// composition validation, the observe-mode trace, and the key decoupling
+// property — observe mode and high-performance mode produce identical
+// compressed results from the same specification.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fftx/fftx.hpp"
+#include "green/gaussian.hpp"
+#include "massif/green_operator.hpp"
+
+namespace lc::fftx {
+namespace {
+
+class FftxFixture : public ::testing::Test {
+ protected:
+  Grid3 grid_ = Grid3::cube(32);
+  Box3 dom_ = Box3::cube_at({8, 8, 8}, 8);
+  std::shared_ptr<green::GaussianSpectrum> kernel_ =
+      std::make_shared<green::GaussianSpectrum>(grid_, 1.5);
+  std::shared_ptr<sampling::Octree> tree_ = std::make_shared<sampling::Octree>(
+      grid_, dom_, sampling::SamplingPolicy::paper_default(8, 8, 0));
+
+  RealField random_chunk(std::uint64_t seed) {
+    RealField f(Grid3::cube(8));
+    SplitMix64 rng(seed);
+    for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+    return f;
+  }
+
+  fftx_plan make_plan(PlanFactory& factory, unsigned top_flags) {
+    // The Fig 5 program: r2c → pointwise → c2r(sampling) → copy.
+    std::vector<fftx_plan_sub> subs;
+    subs.push_back(factory.plan_guru_dft_r2c(dom_, FFTX_FLAG_SUBPLAN));
+    subs.push_back(factory.plan_guru_pointwise_c2c(
+        kernel_, FFTX_FLAG_SUBPLAN | FFTX_PW_POINTWISE));
+    subs.push_back(factory.plan_guru_dft_c2r(tree_, FFTX_FLAG_SUBPLAN));
+    subs.push_back(factory.plan_guru_copy(FFTX_FLAG_SUBPLAN));
+    return factory.plan_compose(std::move(subs), top_flags);
+  }
+};
+
+TEST_F(FftxFixture, ObserveModeRecordsFourStepTrace) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  const fftx_plan plan = make_plan(factory, FFTX_ESTIMATE | FFTX_MODE_OBSERVE);
+  (void)plan->execute(random_chunk(1));
+  ASSERT_EQ(plan->trace().size(), 4u);
+  EXPECT_NE(plan->trace()[0].find("dft_r2c"), std::string::npos);
+  EXPECT_NE(plan->trace()[1].find("pointwise"), std::string::npos);
+  EXPECT_NE(plan->trace()[2].find("adaptive_sampling"), std::string::npos);
+  EXPECT_NE(plan->trace()[3].find("copy_offset"), std::string::npos);
+}
+
+TEST_F(FftxFixture, HighPerformanceMatchesObserveExactly) {
+  // The decoupling claim: one specification, two execution strategies,
+  // identical results (both keep exact convolution samples).
+  PlanFactory observe(grid_, FFTX_MODE_OBSERVE);
+  PlanFactory fast(grid_, FFTX_HIGH_PERFORMANCE);
+  const fftx_plan p_obs = make_plan(observe, FFTX_MODE_OBSERVE);
+  const fftx_plan p_fast = make_plan(fast, FFTX_HIGH_PERFORMANCE);
+
+  const RealField chunk = random_chunk(2);
+  const auto a = p_obs->execute(chunk);
+  const auto b = p_fast->execute(chunk);
+  const auto sa = a.samples();
+  const auto sb = b.samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_NEAR(sa[i], sb[i], 1e-10) << i;
+  }
+}
+
+TEST_F(FftxFixture, HighPerformanceProducesNoTrace) {
+  PlanFactory fast(grid_, FFTX_HIGH_PERFORMANCE);
+  const fftx_plan plan = make_plan(fast, FFTX_HIGH_PERFORMANCE);
+  (void)plan->execute(random_chunk(3));
+  EXPECT_TRUE(plan->trace().empty());  // fused kernel: no step boundaries
+}
+
+TEST_F(FftxFixture, PlanCanBeExecutedRepeatedly) {
+  PlanFactory fast(grid_, FFTX_HIGH_PERFORMANCE);
+  const fftx_plan plan = make_plan(fast, FFTX_HIGH_PERFORMANCE);
+  const RealField chunk = random_chunk(4);
+  const auto first = plan->execute(chunk);
+  const auto second = plan->execute(chunk);
+  const auto sa = first.samples();
+  const auto sb = second.samples();
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST_F(FftxFixture, ComposeValidatesOrder) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  std::vector<fftx_plan_sub> subs;
+  subs.push_back(factory.plan_guru_pointwise_c2c(
+      kernel_, FFTX_FLAG_SUBPLAN | FFTX_PW_POINTWISE));
+  subs.push_back(factory.plan_guru_dft_r2c(dom_, FFTX_FLAG_SUBPLAN));
+  subs.push_back(factory.plan_guru_dft_c2r(tree_, FFTX_FLAG_SUBPLAN));
+  subs.push_back(factory.plan_guru_copy(FFTX_FLAG_SUBPLAN));
+  EXPECT_THROW((void)factory.plan_compose(std::move(subs), FFTX_MODE_OBSERVE),
+               InvalidArgument);
+}
+
+TEST_F(FftxFixture, ComposeRequiresSubplanFlag) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  std::vector<fftx_plan_sub> subs;
+  subs.push_back(factory.plan_guru_dft_r2c(dom_, 0));  // missing flag
+  subs.push_back(factory.plan_guru_pointwise_c2c(
+      kernel_, FFTX_FLAG_SUBPLAN | FFTX_PW_POINTWISE));
+  subs.push_back(factory.plan_guru_dft_c2r(tree_, FFTX_FLAG_SUBPLAN));
+  subs.push_back(factory.plan_guru_copy(FFTX_FLAG_SUBPLAN));
+  EXPECT_THROW((void)factory.plan_compose(std::move(subs), FFTX_MODE_OBSERVE),
+               InvalidArgument);
+}
+
+TEST_F(FftxFixture, PointwiseRequiresPointwiseFlag) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  EXPECT_THROW((void)factory.plan_guru_pointwise_c2c(kernel_, FFTX_FLAG_SUBPLAN),
+               InvalidArgument);
+}
+
+TEST_F(FftxFixture, MismatchedOctreeRejected) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  auto other_tree = std::make_shared<sampling::Octree>(
+      grid_, Box3::cube_at({16, 16, 16}, 8),
+      sampling::SamplingPolicy::uniform(2));
+  std::vector<fftx_plan_sub> subs;
+  subs.push_back(factory.plan_guru_dft_r2c(dom_, FFTX_FLAG_SUBPLAN));
+  subs.push_back(factory.plan_guru_pointwise_c2c(
+      kernel_, FFTX_FLAG_SUBPLAN | FFTX_PW_POINTWISE));
+  subs.push_back(factory.plan_guru_dft_c2r(other_tree, FFTX_FLAG_SUBPLAN));
+  subs.push_back(factory.plan_guru_copy(FFTX_FLAG_SUBPLAN));
+  EXPECT_THROW((void)factory.plan_compose(std::move(subs), FFTX_MODE_OBSERVE),
+               InvalidArgument);
+}
+
+TEST_F(FftxFixture, DescribeSummarisesThePipeline) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  const fftx_plan plan = make_plan(factory, FFTX_MODE_OBSERVE);
+  const std::string d = plan->describe();
+  EXPECT_NE(d.find("dft_r2c"), std::string::npos);
+  EXPECT_NE(d.find("gaussian"), std::string::npos);
+  EXPECT_NE(d.find("OBSERVE"), std::string::npos);
+}
+
+TEST_F(FftxFixture, WrongChunkShapeRejected) {
+  PlanFactory factory(grid_, FFTX_MODE_OBSERVE);
+  const fftx_plan plan = make_plan(factory, FFTX_MODE_OBSERVE);
+  RealField wrong(Grid3::cube(16));
+  EXPECT_THROW((void)plan->execute(wrong), InvalidArgument);
+}
+
+TEST(PlanFactoryTest, RejectsModelessFactory) {
+  EXPECT_THROW(PlanFactory(Grid3::cube(8), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lc::fftx

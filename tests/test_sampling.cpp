@@ -1,0 +1,384 @@
+// Tests for the adaptive sampling substrate: policy, octree, metadata codec,
+// compressed-field reconstruction.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "common/rng.hpp"
+#include "sampling/compressed_field.hpp"
+#include "sampling/octree.hpp"
+#include "sampling/sampling_policy.hpp"
+
+namespace lc::sampling {
+namespace {
+
+TEST(SamplingPolicy, PaperDefaultRates) {
+  // §5.4: r=2 for distance <= k/2, r=8 for <= 4k, far rate beyond; the
+  // sub-domain plus a small dense halo stay at full resolution.
+  const i64 k = 32;
+  const SamplingPolicy p = SamplingPolicy::paper_default(k, 16);
+  EXPECT_EQ(p.rate_at_distance(0), 1);   // inside: full resolution
+  EXPECT_EQ(p.rate_at_distance(1), 1);   // dense halo (default width 2)
+  EXPECT_EQ(p.rate_at_distance(2), 1);
+  EXPECT_EQ(p.rate_at_distance(3), 2);
+  EXPECT_EQ(p.rate_at_distance(16), 2);  // k/2
+  EXPECT_EQ(p.rate_at_distance(17), 8);
+  EXPECT_EQ(p.rate_at_distance(128), 8);  // 4k
+  EXPECT_EQ(p.rate_at_distance(129), 16);
+  EXPECT_EQ(p.rate_at_distance(100000), 16);
+}
+
+TEST(SamplingPolicy, PaperDefaultDegeneratesGracefullyForTinyK) {
+  // k small enough that k/2 <= halo: the rate-2 band disappears.
+  const SamplingPolicy p = SamplingPolicy::paper_default(4, 16, 0, 2);
+  EXPECT_EQ(p.rate_at_distance(1), 1);
+  EXPECT_EQ(p.rate_at_distance(2), 1);
+  EXPECT_EQ(p.rate_at_distance(3), 8);
+  EXPECT_EQ(p.rate_at_distance(17), 16);
+}
+
+TEST(SamplingPolicy, UniformPolicy) {
+  const SamplingPolicy p = SamplingPolicy::uniform(4);
+  EXPECT_EQ(p.rate_at_distance(0), 1);
+  EXPECT_EQ(p.rate_at_distance(1), 4);
+  EXPECT_EQ(p.rate_at_distance(500), 4);
+}
+
+TEST(SamplingPolicy, BoundaryShellIsDense) {
+  const Grid3 g{64, 64, 64};
+  const Box3 dom = Box3::cube_at({16, 16, 16}, 16);
+  const SamplingPolicy p = SamplingPolicy::paper_default(16, 16, 2);
+  EXPECT_EQ(p.rate_at({0, 32, 32}, dom, g), 1);   // on the boundary shell
+  EXPECT_EQ(p.rate_at({1, 32, 32}, dom, g), 1);   // band width 2
+  EXPECT_EQ(p.rate_at({63, 32, 32}, dom, g), 1);  // far face too
+  EXPECT_NE(p.rate_at({2, 32, 32}, dom, g), 1);   // just inside interior
+}
+
+TEST(SamplingPolicy, RejectsNonPow2Rates) {
+  EXPECT_THROW(SamplingPolicy({{4, 3}}, 16), InvalidArgument);
+  EXPECT_THROW(SamplingPolicy({}, 7), InvalidArgument);
+}
+
+TEST(SamplingPolicy, RejectsUnsortedBands) {
+  EXPECT_THROW(SamplingPolicy({{8, 2}, {4, 4}}, 16), InvalidArgument);
+}
+
+TEST(SamplingPolicy, EffectiveExteriorRateBounds) {
+  const Grid3 g{32, 32, 32};
+  const Box3 dom = Box3::cube_at({8, 8, 8}, 8);
+  const SamplingPolicy p = SamplingPolicy::uniform(4);
+  const double r = p.effective_exterior_rate(g, dom);
+  // Exterior sampled at rate 4 in each dim → effective rate slightly below
+  // 4 because retained lattice points are counted exactly (ceil effects).
+  EXPECT_GT(r, 2.5);
+  EXPECT_LT(r, 4.5);
+}
+
+TEST(BoundaryDistance, Basics) {
+  const Grid3 g{16, 16, 16};
+  EXPECT_EQ(boundary_distance({0, 8, 8}, g), 0);
+  EXPECT_EQ(boundary_distance({15, 8, 8}, g), 0);
+  EXPECT_EQ(boundary_distance({8, 8, 8}, g), 7);
+  EXPECT_EQ(boundary_distance({3, 8, 5}, g), 3);
+}
+
+class OctreeFixture : public ::testing::Test {
+ protected:
+  Grid3 grid_{64, 64, 64};
+  Box3 dom_ = Box3::cube_at({16, 16, 16}, 16);
+  SamplingPolicy policy_ = SamplingPolicy::paper_default(16, 16, 2);
+  Octree tree_{grid_, dom_, policy_};
+};
+
+TEST_F(OctreeFixture, CellsTileTheGridExactly) {
+  std::size_t vol = 0;
+  for (const auto& c : tree_.cells()) vol += c.box().volume();
+  EXPECT_EQ(vol, grid_.size());
+  // Spot-check disjointness with point membership counting.
+  SplitMix64 rng(17);
+  for (int t = 0; t < 200; ++t) {
+    const Index3 p{static_cast<i64>(rng.below(64)),
+                   static_cast<i64>(rng.below(64)),
+                   static_cast<i64>(rng.below(64))};
+    int owners = 0;
+    for (const auto& c : tree_.cells()) {
+      if (c.box().contains(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << p.str();
+  }
+}
+
+TEST_F(OctreeFixture, SubdomainIsFullResolution) {
+  for_each_point(dom_, [&](const Index3& p) {
+    EXPECT_EQ(tree_.cell_containing(p).rate, 1) << p.str();
+  });
+}
+
+TEST_F(OctreeFixture, RatesFollowPolicy) {
+  SplitMix64 rng(5);
+  for (int t = 0; t < 300; ++t) {
+    const Index3 p{static_cast<i64>(rng.below(64)),
+                   static_cast<i64>(rng.below(64)),
+                   static_cast<i64>(rng.below(64))};
+    const OctreeCell& c = tree_.cell_containing(p);
+    // Cell rate can be capped by cell side but never exceeds the policy
+    // rate of any point it contains.
+    const i64 want = policy_.rate_at(p, dom_, grid_);
+    EXPECT_LE(c.rate, want) << p.str();
+  }
+}
+
+TEST_F(OctreeFixture, CellRatesDivideSides) {
+  for (const auto& c : tree_.cells()) {
+    EXPECT_GT(c.side, 0);
+    EXPECT_EQ(c.side % c.rate, 0);
+    EXPECT_EQ(c.corner.x % c.rate, 0);  // globally aligned lattice
+    EXPECT_EQ(c.corner.y % c.rate, 0);
+    EXPECT_EQ(c.corner.z % c.rate, 0);
+  }
+}
+
+TEST_F(OctreeFixture, SampleOffsetsArePrefixSums) {
+  std::size_t expect = 0;
+  for (const auto& c : tree_.cells()) {
+    EXPECT_EQ(c.sample_offset, expect);
+    expect += c.sample_count();
+  }
+  EXPECT_EQ(tree_.total_samples(), expect);
+}
+
+TEST_F(OctreeFixture, CompressionRatioAboveOne) {
+  EXPECT_GT(tree_.compression_ratio(), 1.0);
+  EXPECT_LT(static_cast<double>(tree_.total_samples()),
+            static_cast<double>(grid_.size()));
+}
+
+TEST_F(OctreeFixture, MetadataRoundTrip) {
+  const auto meta = tree_.encode_metadata();
+  EXPECT_EQ(meta.size(), tree_.cells().size() * 5);
+  const Octree back =
+      Octree::decode_metadata(grid_, meta, tree_.total_samples());
+  ASSERT_EQ(back.cells().size(), tree_.cells().size());
+  for (std::size_t i = 0; i < back.cells().size(); ++i) {
+    const auto& a = tree_.cells()[i];
+    const auto& b = back.cells()[i];
+    EXPECT_EQ(a.corner, b.corner);
+    EXPECT_EQ(a.side, b.side);
+    EXPECT_EQ(a.rate, b.rate);
+    EXPECT_EQ(a.sample_offset, b.sample_offset);
+  }
+}
+
+TEST_F(OctreeFixture, RetainedZPlanesIncludeSubdomainDensely) {
+  const auto planes = tree_.retained_z_planes();
+  std::set<i64> s(planes.begin(), planes.end());
+  for (i64 z = dom_.lo.z; z < dom_.hi.z; ++z) EXPECT_TRUE(s.count(z)) << z;
+  EXPECT_TRUE(std::is_sorted(planes.begin(), planes.end()));
+  EXPECT_EQ(s.size(), planes.size());
+  // With a dense boundary shell on the x/y faces every z carries samples;
+  // without the shell, z planes are genuinely pruned.
+  const Octree no_shell(grid_, dom_, SamplingPolicy::paper_default(16, 16, 0));
+  EXPECT_LT(no_shell.retained_z_planes().size(),
+            static_cast<std::size_t>(grid_.nz));
+}
+
+TEST(Octree, RequiresCubicPow2Grid) {
+  const SamplingPolicy p = SamplingPolicy::uniform(2);
+  EXPECT_THROW(Octree(Grid3{12, 12, 12}, Box3::cube_at({0, 0, 0}, 4), p),
+               InvalidArgument);
+  EXPECT_THROW(Octree(Grid3{8, 8, 16}, Box3::cube_at({0, 0, 0}, 4), p),
+               InvalidArgument);
+}
+
+TEST(Octree, DecodeRejectsCorruptMetadata) {
+  std::vector<std::int32_t> bad{0, 0, 0, 1};  // not a multiple of 5
+  EXPECT_THROW(Octree::decode_metadata(Grid3{8, 8, 8}, bad, 10),
+               InvalidArgument);
+}
+
+TEST(Octree, UniformRateOnePolicyGivesOneDenseCell) {
+  const Grid3 g{16, 16, 16};
+  const SamplingPolicy p = SamplingPolicy::uniform(1);
+  const Octree t(g, Box3::cube_at({4, 4, 4}, 4), p);
+  // Everything is rate 1 → root is a single uniform cell.
+  ASSERT_EQ(t.cells().size(), 1u);
+  EXPECT_EQ(t.total_samples(), g.size());
+}
+
+TEST(CompressedField, DenseCellRegionReconstructsExactly) {
+  const Grid3 g{32, 32, 32};
+  const Box3 dom = Box3::cube_at({8, 8, 8}, 8);
+  auto tree = std::make_shared<Octree>(g, dom,
+                                       SamplingPolicy::paper_default(8, 8, 0));
+  RealField f(g);
+  SplitMix64 rng(3);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+
+  const CompressedField c = CompressedField::compress(f, tree);
+  const RealField back = c.reconstruct();
+  // Inside the sub-domain (rate 1) reconstruction is exact.
+  for_each_point(dom, [&](const Index3& p) {
+    EXPECT_DOUBLE_EQ(back(p), f(p)) << p.str();
+  });
+}
+
+TEST(CompressedField, SmoothFieldReconstructsAccurately) {
+  const Grid3 g{32, 32, 32};
+  const Box3 dom = Box3::cube_at({8, 8, 8}, 8);
+  auto tree =
+      std::make_shared<Octree>(g, dom, SamplingPolicy::paper_default(8, 8, 0));
+  // Rapidly decaying field mimicking a Green's-function response: by the
+  // time the coarse (rate 8) region starts the values are negligible —
+  // this is exactly the data property the compression strategy exploits.
+  RealField f(g);
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    const double dx = static_cast<double>(p.x) - 12.0;
+    const double dy = static_cast<double>(p.y) - 12.0;
+    const double dz = static_cast<double>(p.z) - 12.0;
+    f(p) = std::exp(-(dx * dx + dy * dy + dz * dz) / 18.0);
+  });
+  const CompressedField c = CompressedField::compress(f, tree);
+  const RealField back = c.reconstruct();
+  EXPECT_LT(relative_l2_error(back.span(), f.span()), 0.05);
+}
+
+TEST(CompressedField, ValueAtMatchesReconstruct) {
+  const Grid3 g{16, 16, 16};
+  const Box3 dom = Box3::cube_at({4, 4, 4}, 4);
+  auto tree =
+      std::make_shared<Octree>(g, dom, SamplingPolicy::uniform(4));
+  RealField f(g);
+  SplitMix64 rng(8);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  const CompressedField c = CompressedField::compress(f, tree);
+  const RealField back = c.reconstruct();
+  SplitMix64 prng(9);
+  for (int t = 0; t < 100; ++t) {
+    const Index3 p{static_cast<i64>(prng.below(16)),
+                   static_cast<i64>(prng.below(16)),
+                   static_cast<i64>(prng.below(16))};
+    EXPECT_DOUBLE_EQ(c.value_at(p), back(p)) << p.str();
+  }
+}
+
+TEST(CompressedField, ReconstructAddAccumulates) {
+  const Grid3 g{16, 16, 16};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({4, 4, 4}, 4),
+                                       SamplingPolicy::uniform(2));
+  RealField f(g, 1.0);
+  const CompressedField c = CompressedField::compress(f, tree);
+  const Box3 region{{2, 2, 2}, {10, 10, 10}};
+  RealField out(region.extents(), 5.0);
+  c.reconstruct_add(out, region);
+  // Constant field interpolates exactly; 5 + 1 everywhere.
+  for (const auto& v : out.span()) EXPECT_NEAR(v, 6.0, 1e-12);
+}
+
+TEST(CompressedField, ReconstructAddRejectsMismatchedRegion) {
+  const Grid3 g{16, 16, 16};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({4, 4, 4}, 4),
+                                       SamplingPolicy::uniform(2));
+  CompressedField c(tree);
+  RealField wrong(Grid3{4, 4, 4});
+  EXPECT_THROW(c.reconstruct_add(wrong, Box3{{0, 0, 0}, {8, 8, 8}}),
+               InvalidArgument);
+}
+
+TEST(CompressedField, PayloadBytesMatchSampleCount) {
+  const Grid3 g{32, 32, 32};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({8, 8, 8}, 8),
+                                       SamplingPolicy::uniform(4));
+  CompressedField c(tree);
+  EXPECT_EQ(c.sample_bytes(), tree->total_samples() * sizeof(double));
+  EXPECT_EQ(c.metadata_bytes(), tree->cells().size() * 20);
+  EXPECT_LT(c.sample_bytes(), g.size() * sizeof(double));
+}
+
+TEST(CompressedField, TricubicExactOnDenseCells) {
+  const Grid3 g{16, 16, 16};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({4, 4, 4}, 8),
+                                       SamplingPolicy::uniform(1));
+  RealField f(g);
+  SplitMix64 rng(21);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  const CompressedField c = CompressedField::compress(f, tree);
+  const RealField back = c.reconstruct(Interpolation::kTricubic);
+  EXPECT_LT(max_abs_error(back.span(), f.span()), 1e-14);
+}
+
+TEST(CompressedField, TricubicReproducesLinearFieldsExactly) {
+  // Catmull-Rom reproduces polynomials up to degree 3 on interior stencils
+  // and degree 1 everywhere (clamped faces included).
+  const Grid3 g{32, 32, 32};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({8, 8, 8}, 8),
+                                       SamplingPolicy::uniform(4));
+  RealField f(g);
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    f(p) = 0.5 * static_cast<double>(p.x) - 0.25 * static_cast<double>(p.y) +
+           static_cast<double>(p.z);
+  });
+  const CompressedField c = CompressedField::compress(f, tree);
+  // Check interior points away from the wrap seam (the linear field is not
+  // periodic, so wrapped top-edge samples are excluded).
+  for_each_point(Box3{{2, 2, 2}, {24, 24, 24}}, [&](const Index3& p) {
+    EXPECT_NEAR(c.value_at(p, Interpolation::kTricubic), f(p), 1e-10)
+        << p.str();
+  });
+}
+
+TEST(CompressedField, TricubicBeatsTrilinearOnSmoothPeriodicFields) {
+  // Corner sub-domain → the far half of the grid coarsens into large
+  // rate-2 cells (9 samples per edge) with plenty of interior stencils,
+  // where the cubic order pays off.
+  const Grid3 g{32, 32, 32};
+  auto tree = std::make_shared<Octree>(g, Box3::cube_at({0, 0, 0}, 8),
+                                       SamplingPolicy::uniform(2));
+  RealField f(g);
+  const double w = 2.0 * std::numbers::pi / 32.0;
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    f(p) = std::sin(w * static_cast<double>(p.x)) *
+           std::cos(w * static_cast<double>(p.y)) *
+           std::sin(w * static_cast<double>(p.z) + 0.3);
+  });
+  const CompressedField c = CompressedField::compress(f, tree);
+  const double linear =
+      relative_l2_error(c.reconstruct(Interpolation::kTrilinear).span(),
+                        f.span());
+  const double cubic =
+      relative_l2_error(c.reconstruct(Interpolation::kTricubic).span(),
+                        f.span());
+  EXPECT_LT(cubic, linear * 0.6);
+  EXPECT_GT(linear, 0.0);
+}
+
+// Property sweep: compression error decreases as far rate decreases, over a
+// family of rates.
+class RateSweep : public ::testing::TestWithParam<i64> {};
+
+TEST_P(RateSweep, ErrorShrinksWithRate) {
+  const i64 rate = GetParam();
+  const Grid3 g{32, 32, 32};
+  const Box3 dom = Box3::cube_at({12, 12, 12}, 8);
+  auto tree = std::make_shared<Octree>(g, dom, SamplingPolicy::uniform(rate));
+  // Periodic field (convolution results are periodic; the octree's
+  // edge-inclusive lattice wraps at the grid boundary).
+  RealField f(g);
+  const double w = 2.0 * std::numbers::pi / 32.0;
+  for_each_point(Box3::of(g), [&](const Index3& p) {
+    f(p) = std::sin(w * static_cast<double>(p.x)) *
+           std::cos(2.0 * w * static_cast<double>(p.y)) *
+           std::sin(w * static_cast<double>(p.z) + 0.5);
+  });
+  const CompressedField c = CompressedField::compress(f, tree);
+  const double err = relative_l2_error(c.reconstruct().span(), f.span());
+  // Error bound grows with rate; r=2 well below r=8 bound.
+  const double bound = 0.02 * static_cast<double>(rate * rate);
+  EXPECT_LT(err, bound) << "rate=" << rate;
+  if (rate > 1) EXPECT_GT(err, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace lc::sampling

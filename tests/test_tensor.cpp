@@ -1,0 +1,250 @@
+// Unit tests for src/tensor: grids, boxes, fields, symmetric tensors.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/field.hpp"
+#include "tensor/grid.hpp"
+#include "tensor/sym_tensor.hpp"
+#include "tensor/tensor_field.hpp"
+
+namespace lc {
+namespace {
+
+TEST(Grid3, IndexRoundTrip) {
+  const Grid3 g{4, 5, 6};
+  std::size_t lin = 0;
+  for (i64 z = 0; z < g.nz; ++z) {
+    for (i64 y = 0; y < g.ny; ++y) {
+      for (i64 x = 0; x < g.nx; ++x) {
+        EXPECT_EQ(g.index(x, y, z), lin);
+        EXPECT_EQ(g.unindex(lin), (Index3{x, y, z}));
+        ++lin;
+      }
+    }
+  }
+  EXPECT_EQ(lin, g.size());
+}
+
+TEST(Grid3, XIsFastest) {
+  const Grid3 g{8, 8, 8};
+  EXPECT_EQ(g.index(1, 0, 0), g.index(0, 0, 0) + 1);
+  EXPECT_EQ(g.index(0, 1, 0), g.index(0, 0, 0) + 8);
+  EXPECT_EQ(g.index(0, 0, 1), g.index(0, 0, 0) + 64);
+}
+
+TEST(Grid3, Contains) {
+  const Grid3 g{2, 3, 4};
+  EXPECT_TRUE(g.contains({0, 0, 0}));
+  EXPECT_TRUE(g.contains({1, 2, 3}));
+  EXPECT_FALSE(g.contains({2, 0, 0}));
+  EXPECT_FALSE(g.contains({0, -1, 0}));
+}
+
+TEST(Box3, VolumeAndEmpty) {
+  const Box3 b{{1, 1, 1}, {3, 4, 5}};
+  EXPECT_EQ(b.volume(), 2u * 3u * 4u);
+  EXPECT_FALSE(b.empty());
+  const Box3 e{{2, 2, 2}, {2, 5, 5}};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.volume(), 0u);
+}
+
+TEST(Box3, Intersection) {
+  const Box3 a{{0, 0, 0}, {4, 4, 4}};
+  const Box3 b{{2, 2, 2}, {6, 6, 6}};
+  const Box3 i = a.intersect(b);
+  EXPECT_EQ(i, (Box3{{2, 2, 2}, {4, 4, 4}}));
+  const Box3 far{{10, 10, 10}, {12, 12, 12}};
+  EXPECT_TRUE(a.intersect(far).empty());
+}
+
+TEST(Box3, ContainsBox) {
+  const Box3 a{{0, 0, 0}, {8, 8, 8}};
+  EXPECT_TRUE(a.contains(Box3{{1, 1, 1}, {7, 7, 7}}));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_FALSE(a.contains(Box3{{1, 1, 1}, {9, 7, 7}}));
+}
+
+TEST(Box3, ChebyshevDistance) {
+  const Box3 b{{4, 4, 4}, {8, 8, 8}};
+  EXPECT_EQ(b.chebyshev_distance({5, 5, 5}), 0);
+  EXPECT_EQ(b.chebyshev_distance({3, 5, 5}), 1);
+  EXPECT_EQ(b.chebyshev_distance({10, 5, 5}), 3);
+  EXPECT_EQ(b.chebyshev_distance({0, 0, 0}), 4);
+  EXPECT_EQ(b.chebyshev_distance({10, 1, 5}), 3);
+}
+
+TEST(Box3, CubeAt) {
+  const Box3 b = Box3::cube_at({2, 3, 4}, 5);
+  EXPECT_EQ(b.extents(), (Grid3{5, 5, 5}));
+  EXPECT_EQ(b.lo, (Index3{2, 3, 4}));
+}
+
+TEST(Box3, ForEachPointVisitsAllInOrder) {
+  const Box3 b{{1, 1, 1}, {3, 3, 2}};
+  std::vector<Index3> pts;
+  for_each_point(b, [&](const Index3& p) { pts.push_back(p); });
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], (Index3{1, 1, 1}));
+  EXPECT_EQ(pts[1], (Index3{2, 1, 1}));
+  EXPECT_EQ(pts[2], (Index3{1, 2, 1}));
+}
+
+TEST(Field, ExtractInsertRoundTrip) {
+  const Grid3 g{8, 8, 8};
+  RealField f(g);
+  SplitMix64 rng(3);
+  for (auto& v : f.span()) v = rng.uniform();
+
+  const Box3 box{{2, 3, 1}, {6, 7, 5}};
+  const RealField sub = f.extract(box);
+  EXPECT_EQ(sub.grid(), box.extents());
+
+  RealField g2(g, 0.0);
+  g2.insert(sub, box.lo);
+  for_each_point(box, [&](const Index3& p) { EXPECT_EQ(g2(p), f(p)); });
+  // Outside the box stays zero.
+  EXPECT_EQ(g2(0, 0, 0), 0.0);
+}
+
+TEST(Field, AccumulateAdds) {
+  RealField f(Grid3{4, 4, 4}, 1.0);
+  RealField s(Grid3{2, 2, 2}, 2.5);
+  f.accumulate(s, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(f(1, 1, 1), 3.5);
+  EXPECT_DOUBLE_EQ(f(2, 2, 2), 3.5);
+  EXPECT_DOUBLE_EQ(f(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f(3, 3, 3), 1.0);
+}
+
+TEST(Field, ExtractOutsideThrows) {
+  RealField f(Grid3{4, 4, 4});
+  EXPECT_THROW(f.extract(Box3{{2, 2, 2}, {5, 4, 4}}), InvalidArgument);
+}
+
+TEST(Field, Norms) {
+  RealField f(Grid3{2, 1, 1});
+  f(0, 0, 0) = 3.0;
+  f(1, 0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(l2_norm(f.span()), 5.0);
+}
+
+TEST(Field, RelativeL2Error) {
+  RealField a(Grid3{2, 1, 1});
+  RealField b(Grid3{2, 1, 1});
+  a(0, 0, 0) = 1.1;
+  a(1, 0, 0) = 2.0;
+  b(0, 0, 0) = 1.0;
+  b(1, 0, 0) = 2.0;
+  const double err = relative_l2_error(a.span(), b.span());
+  EXPECT_NEAR(err, 0.1 / std::sqrt(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(relative_l2_error(a.span(), a.span()), 0.0);
+}
+
+TEST(Field, MaxAbsError) {
+  RealField a(Grid3{3, 1, 1});
+  RealField b(Grid3{3, 1, 1});
+  a(1, 0, 0) = 2.0;
+  b(1, 0, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(max_abs_error(a.span(), b.span()), 3.0);
+}
+
+TEST(Voigt, IndexPairsRoundTrip) {
+  for (std::size_t a = 0; a < 6; ++a) {
+    const auto [i, j] = voigt_pair(a);
+    EXPECT_EQ(voigt_index(i, j), a);
+    EXPECT_EQ(voigt_index(j, i), a);
+  }
+}
+
+TEST(SymTensor2, SymmetricAccess) {
+  Sym2 t;
+  t.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 7.0);
+  t.at(2, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), -2.0);
+}
+
+TEST(SymTensor2, TraceAndSpherical) {
+  const Sym2 s = Sym2::spherical(2.0);
+  EXPECT_DOUBLE_EQ(s.trace(), 6.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 0.0);
+}
+
+TEST(SymTensor2, DdotCountsShearTwice) {
+  Sym2 a;
+  a.at(0, 1) = 1.0;  // a_xy = a_yx = 1
+  EXPECT_DOUBLE_EQ(a.ddot(a), 2.0);
+  Sym2 b;
+  b.at(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(b.ddot(b), 1.0);
+}
+
+TEST(SymTensor2, NormMatchesFullContraction) {
+  Sym2 a;
+  a.at(0, 0) = 1.0;
+  a.at(1, 2) = 2.0;
+  // a:a = 1 + 2*(4) = 9
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+}
+
+TEST(Stiffness, IsotropicHookesLaw) {
+  const double lambda = 2.0;
+  const double mu = 3.0;
+  const Stiffness c = isotropic_stiffness(lambda, mu);
+  Sym2 eps;
+  eps.at(0, 0) = 0.1;
+  eps.at(1, 1) = -0.2;
+  eps.at(0, 1) = 0.05;
+  const Sym2 sigma = c.ddot(eps);
+  const double tr = eps.trace();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expect = lambda * tr * (i == j ? 1.0 : 0.0) + 2.0 * mu * eps.at(i, j);
+      EXPECT_NEAR(sigma.at(i, j), expect, 1e-14) << i << "," << j;
+    }
+  }
+}
+
+TEST(Stiffness, IsotropicIsMajorSymmetric) {
+  EXPECT_TRUE(isotropic_stiffness(1.3, 0.7).is_major_symmetric());
+}
+
+TEST(Stiffness, LameFromYoungPoisson) {
+  const Lame p = lame_from_young_poisson(210.0, 0.3);
+  EXPECT_NEAR(p.mu, 210.0 / 2.6, 1e-12);
+  EXPECT_NEAR(p.lambda, 210.0 * 0.3 / (1.3 * 0.4), 1e-12);
+  EXPECT_THROW((void)lame_from_young_poisson(-1.0, 0.3), InvalidArgument);
+  EXPECT_THROW((void)lame_from_young_poisson(1.0, 0.5), InvalidArgument);
+}
+
+TEST(SymTensorField, SetGetRoundTrip) {
+  SymTensorField f(Grid3{3, 3, 3});
+  Sym2 t;
+  t.at(0, 0) = 1.0;
+  t.at(1, 2) = -4.0;
+  f.set({1, 2, 0}, t);
+  EXPECT_EQ(f.at({1, 2, 0}), t);
+  EXPECT_EQ(f.at({0, 0, 0}), Sym2{});
+}
+
+TEST(SymTensorField, L2NormWeightsShear) {
+  SymTensorField f(Grid3{1, 1, 1});
+  Sym2 t;
+  t.at(0, 1) = 1.0;
+  f.set({0, 0, 0}, t);
+  EXPECT_NEAR(f.l2_norm(), std::sqrt(2.0), 1e-14);
+}
+
+TEST(SymTensorField, RelativeError) {
+  SymTensorField a(Grid3{2, 2, 2});
+  SymTensorField b(Grid3{2, 2, 2});
+  a.fill(Sym2::spherical(1.0));
+  b.fill(Sym2::spherical(1.0));
+  EXPECT_DOUBLE_EQ(a.relative_error_to(b), 0.0);
+  a.fill(Sym2::spherical(1.1));
+  EXPECT_NEAR(a.relative_error_to(b), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace lc
