@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_param.dir/bench_batch_param.cpp.o"
+  "CMakeFiles/bench_batch_param.dir/bench_batch_param.cpp.o.d"
+  "bench_batch_param"
+  "bench_batch_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

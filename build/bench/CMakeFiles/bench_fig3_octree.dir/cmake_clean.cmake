@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_octree.dir/bench_fig3_octree.cpp.o"
+  "CMakeFiles/bench_fig3_octree.dir/bench_fig3_octree.cpp.o.d"
+  "bench_fig3_octree"
+  "bench_fig3_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

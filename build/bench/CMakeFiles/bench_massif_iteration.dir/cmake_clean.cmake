@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_massif_iteration.dir/bench_massif_iteration.cpp.o"
+  "CMakeFiles/bench_massif_iteration.dir/bench_massif_iteration.cpp.o.d"
+  "bench_massif_iteration"
+  "bench_massif_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_massif_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

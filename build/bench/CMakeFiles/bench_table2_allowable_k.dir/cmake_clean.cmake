@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_allowable_k.dir/bench_table2_allowable_k.cpp.o"
+  "CMakeFiles/bench_table2_allowable_k.dir/bench_table2_allowable_k.cpp.o.d"
+  "bench_table2_allowable_k"
+  "bench_table2_allowable_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_allowable_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_memory_actual.cpp" "bench/CMakeFiles/bench_table4_memory_actual.dir/bench_table4_memory_actual.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_memory_actual.dir/bench_table4_memory_actual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fftx/CMakeFiles/lc_fftx.dir/DependInfo.cmake"
+  "/root/repo/build/src/massif/CMakeFiles/lc_massif.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/green/CMakeFiles/lc_green.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lc_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

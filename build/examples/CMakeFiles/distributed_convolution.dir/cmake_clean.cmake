@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_convolution.dir/distributed_convolution.cpp.o"
+  "CMakeFiles/distributed_convolution.dir/distributed_convolution.cpp.o.d"
+  "distributed_convolution"
+  "distributed_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fftx_pipeline.dir/fftx_pipeline.cpp.o"
+  "CMakeFiles/fftx_pipeline.dir/fftx_pipeline.cpp.o.d"
+  "fftx_pipeline"
+  "fftx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fftx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

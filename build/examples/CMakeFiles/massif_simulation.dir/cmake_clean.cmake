@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massif_simulation.dir/massif_simulation.cpp.o"
+  "CMakeFiles/massif_simulation.dir/massif_simulation.cpp.o.d"
+  "massif_simulation"
+  "massif_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massif_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_baseline.dir/dense.cpp.o"
+  "CMakeFiles/lc_baseline.dir/dense.cpp.o.d"
+  "CMakeFiles/lc_baseline.dir/distributed_fft.cpp.o"
+  "CMakeFiles/lc_baseline.dir/distributed_fft.cpp.o.d"
+  "liblc_baseline.a"
+  "liblc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

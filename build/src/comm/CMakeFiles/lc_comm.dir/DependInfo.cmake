@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/lc_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/lc_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/sim_cluster.cpp" "src/comm/CMakeFiles/lc_comm.dir/sim_cluster.cpp.o" "gcc" "src/comm/CMakeFiles/lc_comm.dir/sim_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/lc_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lc_comm.dir/sim_cluster.cpp.o"
+  "CMakeFiles/lc_comm.dir/sim_cluster.cpp.o.d"
+  "liblc_comm.a"
+  "liblc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_common.dir/table.cpp.o"
+  "CMakeFiles/lc_common.dir/table.cpp.o.d"
+  "CMakeFiles/lc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lc_common.dir/thread_pool.cpp.o.d"
+  "liblc_common.a"
+  "liblc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

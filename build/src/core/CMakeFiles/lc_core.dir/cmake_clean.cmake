@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_core.dir/accumulator.cpp.o"
+  "CMakeFiles/lc_core.dir/accumulator.cpp.o.d"
+  "CMakeFiles/lc_core.dir/decomposition.cpp.o"
+  "CMakeFiles/lc_core.dir/decomposition.cpp.o.d"
+  "CMakeFiles/lc_core.dir/hyperparams.cpp.o"
+  "CMakeFiles/lc_core.dir/hyperparams.cpp.o.d"
+  "CMakeFiles/lc_core.dir/local_convolver.cpp.o"
+  "CMakeFiles/lc_core.dir/local_convolver.cpp.o.d"
+  "CMakeFiles/lc_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lc_core.dir/pipeline.cpp.o.d"
+  "liblc_core.a"
+  "liblc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_device.dir/memory_model.cpp.o"
+  "CMakeFiles/lc_device.dir/memory_model.cpp.o.d"
+  "liblc_device.a"
+  "liblc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

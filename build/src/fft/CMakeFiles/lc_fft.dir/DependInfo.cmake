@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/convolution.cpp" "src/fft/CMakeFiles/lc_fft.dir/convolution.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/convolution.cpp.o.d"
+  "/root/repo/src/fft/dft_direct.cpp" "src/fft/CMakeFiles/lc_fft.dir/dft_direct.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/dft_direct.cpp.o.d"
+  "/root/repo/src/fft/fft1d.cpp" "src/fft/CMakeFiles/lc_fft.dir/fft1d.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/fft1d.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "src/fft/CMakeFiles/lc_fft.dir/fft3d.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/fft3d.cpp.o.d"
+  "/root/repo/src/fft/freq.cpp" "src/fft/CMakeFiles/lc_fft.dir/freq.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/freq.cpp.o.d"
+  "/root/repo/src/fft/pruned.cpp" "src/fft/CMakeFiles/lc_fft.dir/pruned.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/pruned.cpp.o.d"
+  "/root/repo/src/fft/real_fft.cpp" "src/fft/CMakeFiles/lc_fft.dir/real_fft.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/real_fft.cpp.o.d"
+  "/root/repo/src/fft/real_fft3d.cpp" "src/fft/CMakeFiles/lc_fft.dir/real_fft3d.cpp.o" "gcc" "src/fft/CMakeFiles/lc_fft.dir/real_fft3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_fft.dir/convolution.cpp.o"
+  "CMakeFiles/lc_fft.dir/convolution.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/dft_direct.cpp.o"
+  "CMakeFiles/lc_fft.dir/dft_direct.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/lc_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/lc_fft.dir/fft3d.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/freq.cpp.o"
+  "CMakeFiles/lc_fft.dir/freq.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/pruned.cpp.o"
+  "CMakeFiles/lc_fft.dir/pruned.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/real_fft.cpp.o"
+  "CMakeFiles/lc_fft.dir/real_fft.cpp.o.d"
+  "CMakeFiles/lc_fft.dir/real_fft3d.cpp.o"
+  "CMakeFiles/lc_fft.dir/real_fft3d.cpp.o.d"
+  "liblc_fft.a"
+  "liblc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_fftx.dir/fftx.cpp.o"
+  "CMakeFiles/lc_fftx.dir/fftx.cpp.o.d"
+  "liblc_fftx.a"
+  "liblc_fftx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_fftx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

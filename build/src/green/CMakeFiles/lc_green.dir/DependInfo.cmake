@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/elastic.cpp" "src/green/CMakeFiles/lc_green.dir/elastic.cpp.o" "gcc" "src/green/CMakeFiles/lc_green.dir/elastic.cpp.o.d"
+  "/root/repo/src/green/gaussian.cpp" "src/green/CMakeFiles/lc_green.dir/gaussian.cpp.o" "gcc" "src/green/CMakeFiles/lc_green.dir/gaussian.cpp.o.d"
+  "/root/repo/src/green/kernel.cpp" "src/green/CMakeFiles/lc_green.dir/kernel.cpp.o" "gcc" "src/green/CMakeFiles/lc_green.dir/kernel.cpp.o.d"
+  "/root/repo/src/green/poisson.cpp" "src/green/CMakeFiles/lc_green.dir/poisson.cpp.o" "gcc" "src/green/CMakeFiles/lc_green.dir/poisson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/lc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_green.dir/elastic.cpp.o"
+  "CMakeFiles/lc_green.dir/elastic.cpp.o.d"
+  "CMakeFiles/lc_green.dir/gaussian.cpp.o"
+  "CMakeFiles/lc_green.dir/gaussian.cpp.o.d"
+  "CMakeFiles/lc_green.dir/kernel.cpp.o"
+  "CMakeFiles/lc_green.dir/kernel.cpp.o.d"
+  "CMakeFiles/lc_green.dir/poisson.cpp.o"
+  "CMakeFiles/lc_green.dir/poisson.cpp.o.d"
+  "liblc_green.a"
+  "liblc_green.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_massif.dir/microstructure.cpp.o"
+  "CMakeFiles/lc_massif.dir/microstructure.cpp.o.d"
+  "CMakeFiles/lc_massif.dir/solver.cpp.o"
+  "CMakeFiles/lc_massif.dir/solver.cpp.o.d"
+  "liblc_massif.a"
+  "liblc_massif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_massif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/compressed_field.cpp" "src/sampling/CMakeFiles/lc_sampling.dir/compressed_field.cpp.o" "gcc" "src/sampling/CMakeFiles/lc_sampling.dir/compressed_field.cpp.o.d"
+  "/root/repo/src/sampling/octree.cpp" "src/sampling/CMakeFiles/lc_sampling.dir/octree.cpp.o" "gcc" "src/sampling/CMakeFiles/lc_sampling.dir/octree.cpp.o.d"
+  "/root/repo/src/sampling/sampling_policy.cpp" "src/sampling/CMakeFiles/lc_sampling.dir/sampling_policy.cpp.o" "gcc" "src/sampling/CMakeFiles/lc_sampling.dir/sampling_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

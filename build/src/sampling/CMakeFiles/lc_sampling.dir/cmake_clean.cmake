@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_sampling.dir/compressed_field.cpp.o"
+  "CMakeFiles/lc_sampling.dir/compressed_field.cpp.o.d"
+  "CMakeFiles/lc_sampling.dir/octree.cpp.o"
+  "CMakeFiles/lc_sampling.dir/octree.cpp.o.d"
+  "CMakeFiles/lc_sampling.dir/sampling_policy.cpp.o"
+  "CMakeFiles/lc_sampling.dir/sampling_policy.cpp.o.d"
+  "liblc_sampling.a"
+  "liblc_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

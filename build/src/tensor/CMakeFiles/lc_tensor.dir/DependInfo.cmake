@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/field.cpp" "src/tensor/CMakeFiles/lc_tensor.dir/field.cpp.o" "gcc" "src/tensor/CMakeFiles/lc_tensor.dir/field.cpp.o.d"
+  "/root/repo/src/tensor/grid.cpp" "src/tensor/CMakeFiles/lc_tensor.dir/grid.cpp.o" "gcc" "src/tensor/CMakeFiles/lc_tensor.dir/grid.cpp.o.d"
+  "/root/repo/src/tensor/sym_tensor.cpp" "src/tensor/CMakeFiles/lc_tensor.dir/sym_tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/lc_tensor.dir/sym_tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_field.cpp" "src/tensor/CMakeFiles/lc_tensor.dir/tensor_field.cpp.o" "gcc" "src/tensor/CMakeFiles/lc_tensor.dir/tensor_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

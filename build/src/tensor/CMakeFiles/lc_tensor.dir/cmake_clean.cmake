@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_tensor.dir/field.cpp.o"
+  "CMakeFiles/lc_tensor.dir/field.cpp.o.d"
+  "CMakeFiles/lc_tensor.dir/grid.cpp.o"
+  "CMakeFiles/lc_tensor.dir/grid.cpp.o.d"
+  "CMakeFiles/lc_tensor.dir/sym_tensor.cpp.o"
+  "CMakeFiles/lc_tensor.dir/sym_tensor.cpp.o.d"
+  "CMakeFiles/lc_tensor.dir/tensor_field.cpp.o"
+  "CMakeFiles/lc_tensor.dir/tensor_field.cpp.o.d"
+  "liblc_tensor.a"
+  "liblc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft1d.dir/test_fft1d.cpp.o"
+  "CMakeFiles/test_fft1d.dir/test_fft1d.cpp.o.d"
+  "test_fft1d"
+  "test_fft1d.pdb"
+  "test_fft1d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

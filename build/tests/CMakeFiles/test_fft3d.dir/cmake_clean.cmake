@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft3d.dir/test_fft3d.cpp.o"
+  "CMakeFiles/test_fft3d.dir/test_fft3d.cpp.o.d"
+  "test_fft3d"
+  "test_fft3d.pdb"
+  "test_fft3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

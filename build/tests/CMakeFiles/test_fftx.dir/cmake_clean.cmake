@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fftx.dir/test_fftx.cpp.o"
+  "CMakeFiles/test_fftx.dir/test_fftx.cpp.o.d"
+  "test_fftx"
+  "test_fftx.pdb"
+  "test_fftx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fftx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_green.dir/test_green.cpp.o"
+  "CMakeFiles/test_green.dir/test_green.cpp.o.d"
+  "test_green"
+  "test_green.pdb"
+  "test_green[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_massif.dir/test_massif.cpp.o"
+  "CMakeFiles/test_massif.dir/test_massif.cpp.o.d"
+  "test_massif"
+  "test_massif.pdb"
+  "test_massif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_massif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
