@@ -1,0 +1,51 @@
+# Sanitizer wiring for every target in the project.
+#
+# Usage:  cmake -B build-tsan -S . -DLC_SANITIZE=thread
+#         cmake -B build-asan -S . -DLC_SANITIZE=address
+#         cmake -B build-ubsan -S . -DLC_SANITIZE=undefined
+#
+# `address` and `undefined` may be combined ("address,undefined"); `thread`
+# is incompatible with ASan and must run alone. Flags are applied with
+# add_compile_options/add_link_options from the top-level list file, so they
+# propagate to every library, test, bench, and example target.
+
+set(LC_SANITIZE "" CACHE STRING
+    "Sanitizer(s) to build with: thread, address, undefined, or address,undefined")
+set_property(CACHE LC_SANITIZE PROPERTY STRINGS
+             "" "thread" "address" "undefined" "address,undefined")
+
+if(NOT LC_SANITIZE)
+  return()
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(FATAL_ERROR "LC_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+endif()
+
+string(REPLACE "," ";" _lc_san_list "${LC_SANITIZE}")
+set(_lc_san_flags "")
+foreach(_san IN LISTS _lc_san_list)
+  if(_san STREQUAL "thread")
+    list(APPEND _lc_san_flags -fsanitize=thread)
+  elseif(_san STREQUAL "address")
+    list(APPEND _lc_san_flags -fsanitize=address)
+  elseif(_san STREQUAL "undefined")
+    # Trap-free UBSan with hard failure: any report fails the test run.
+    list(APPEND _lc_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+  else()
+    message(FATAL_ERROR "Unknown LC_SANITIZE value '${_san}' "
+                        "(expected thread, address, or undefined)")
+  endif()
+endforeach()
+
+if("thread" IN_LIST _lc_san_list AND "address" IN_LIST _lc_san_list)
+  message(FATAL_ERROR "TSan and ASan cannot be combined; build them separately")
+endif()
+
+list(REMOVE_DUPLICATES _lc_san_flags)
+# Frame pointers keep sanitizer stack traces usable; -g keeps them symbolised
+# even in Release-flavoured builds.
+add_compile_options(${_lc_san_flags} -fno-omit-frame-pointer -g)
+add_link_options(${_lc_san_flags})
+
+message(STATUS "lowcomm3d: building with LC_SANITIZE=${LC_SANITIZE}")

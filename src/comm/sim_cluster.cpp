@@ -26,7 +26,12 @@ std::vector<double> Rank::recv(int src) {
   LC_CHECK_ARG(src >= 0 && src < cluster_->size(), "bad source rank");
   auto& ch = cluster_->channel(src, id_);
   std::unique_lock lock(ch.mutex);
-  ch.available.wait(lock, [&] { return !ch.queue.empty(); });
+  ch.available.wait(lock, [&] {
+    return !ch.queue.empty() || cluster_->aborted_.load();
+  });
+  // Messages already delivered are still consumed; only an empty queue with
+  // a dead sender is hopeless.
+  if (ch.queue.empty()) cluster_->throw_if_aborted();
   std::vector<double> out = std::move(ch.queue.front());
   ch.queue.pop_front();
   return out;
@@ -73,7 +78,11 @@ double Rank::all_reduce_sum(double value) {
     }
   }
   barrier();
-  const double result = c.reduce_result_;
+  double result;
+  {
+    std::lock_guard lock(c.reduce_mutex_);
+    result = c.reduce_result_;
+  }
   if (id_ == 0) {
     c.stats_.collective_rounds += 1;
     // A tree reduction moves one double per rank (up and down).
@@ -95,6 +104,7 @@ SimCluster::SimCluster(int ranks, AlphaBetaModel link)
 
 void SimCluster::barrier_wait() {
   std::unique_lock lock(barrier_mutex_);
+  throw_if_aborted();
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
     barrier_waiting_ = 0;
@@ -102,7 +112,29 @@ void SimCluster::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != gen || aborted_.load();
+  });
+  // A generation bump from abort_run also lands here; distinguish by flag
+  // so ranks stop at THIS barrier instead of sailing into the next one.
+  throw_if_aborted();
+}
+
+void SimCluster::abort_run() {
+  // Raise the flag first so every wait predicate that runs after the
+  // notifications below observes it; then wake all sleepers. Each notify is
+  // issued under that waiter's own mutex, so no wakeup can be lost.
+  aborted_.store(true);
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+  }
+  barrier_cv_.notify_all();
+  for (auto& ch : channels_) {
+    std::lock_guard lock(ch.mutex);
+    ch.available.notify_all();
+  }
 }
 
 void SimCluster::run(const std::function<void(Rank&)>& body) {
@@ -117,21 +149,29 @@ void SimCluster::run(const std::function<void(Rank&)>& body) {
       try {
         body(rank);
       } catch (...) {
+        // Record the error BEFORE raising the abort flag: cascading
+        // RankAborted unwinds on peer ranks are ordered after the flag, so
+        // the original exception always wins the first_error slot.
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
-        // Release peers that might be stuck in a barrier: advance the
-        // generation so waiting ranks resume (their results are discarded
-        // because the run rethrows).
-        std::lock_guard block(barrier_mutex_);
-        barrier_waiting_ = 0;
-        ++barrier_generation_;
-        barrier_cv_.notify_all();
+        abort_run();
       }
     });
   }
   for (auto& t : threads) t.join();
-  // Drain any leftovers so the next run starts clean after an error.
+  // Reset synchronisation state and drain channel leftovers so the next
+  // run starts clean after an error.
   if (first_error) {
+    aborted_.store(false);
+    {
+      std::lock_guard lock(barrier_mutex_);
+      barrier_waiting_ = 0;
+    }
+    {
+      std::lock_guard lock(reduce_mutex_);
+      reduce_count_ = 0;
+      reduce_acc_ = 0.0;
+    }
     for (auto& ch : channels_) {
       std::lock_guard lock(ch.mutex);
       ch.queue.clear();

@@ -22,10 +22,22 @@
 
 namespace lc::comm {
 
-/// Aggregate communication counters for one cluster run. In addition to
-/// exact byte/message/round counts, every message is priced through an
-/// α-β model (Eqn 2), giving a modelled wall-clock communication time —
-/// what the exchange would cost on a real interconnect.
+/// Thrown on ranks blocked in a barrier, collective, or recv() when a peer
+/// rank exits its body with an exception: the blocked rank cannot make
+/// progress (its peer will never arrive), so it unwinds with this instead
+/// of deadlocking. SimCluster::run catches these on the way out and
+/// rethrows the peer's ORIGINAL exception to the caller.
+class RankAborted : public Error {
+ public:
+  RankAborted() : Error("collective aborted: a peer rank failed") {}
+};
+
+/// Aggregate communication counters for one cluster run. Counters are
+/// atomic because every rank thread updates them concurrently (Rank::send
+/// runs on all ranks at once). In addition to exact byte/message/round
+/// counts, every message is priced through an α-β model (Eqn 2), giving a
+/// modelled wall-clock communication time — what the exchange would cost
+/// on a real interconnect.
 struct CommStats {
   std::atomic<std::size_t> bytes_sent{0};
   std::atomic<std::size_t> messages{0};
@@ -97,7 +109,10 @@ class SimCluster {
   void reset_stats() { stats_.reset(); }
 
   /// Execute `body(rank)` on every rank concurrently; rethrows the first
-  /// exception any rank raised after all ranks finish or abort.
+  /// exception any rank raised after all ranks finish or abort. When a rank
+  /// throws, peers blocked (now or later) in barriers, collectives, or
+  /// recv() are unwound with RankAborted rather than deadlocking, and the
+  /// cluster is reset to a clean, reusable state before rethrowing.
   void run(const std::function<void(Rank&)>& body);
 
  private:
@@ -115,19 +130,29 @@ class SimCluster {
                      static_cast<std::size_t>(dst)];
   }
   void barrier_wait();
+  void abort_run();
+  void throw_if_aborted() const {
+    if (aborted_.load()) throw RankAborted();
+  }
 
   int ranks_;
   AlphaBetaModel link_;
   std::vector<Channel> channels_;
   CommStats stats_;
 
-  // Central barrier (generation-counted).
+  // Central barrier (generation-counted). `aborted_` is raised when a rank
+  // body throws: every blocking wait (barrier, recv) re-checks it so peers
+  // unwind via RankAborted for ANY number of pending synchronisation
+  // points, not just the one in flight when the failure happened.
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  std::atomic<bool> aborted_{false};
 
-  // Reduction scratch (guarded by the barrier protocol).
+  // Reduction scratch, guarded by reduce_mutex_ (accumulation AND the
+  // post-barrier result read — the read is cheap and keeps the slot's
+  // ownership story trivially checkable by TSAN).
   std::mutex reduce_mutex_;
   double reduce_acc_ = 0.0;
   int reduce_count_ = 0;

@@ -1,12 +1,21 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "common/check.hpp"
 
 namespace lc {
+
+namespace {
+
+// Which pool (if any) owns the current thread. Lets parallel_for_blocks
+// reject re-entrant calls from its own workers, which would otherwise
+// deadlock: the caller blocks on completion while occupying the very worker
+// slot its sub-tasks need.
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -42,7 +51,12 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_of == this;
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -73,6 +87,9 @@ void ThreadPool::parallel_for_blocks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
+  LC_CHECK(!on_worker_thread(),
+           "parallel_for_blocks called from inside one of this pool's own "
+           "workers; this would deadlock — use a separate pool for nesting");
   const std::size_t n = end - begin;
   const std::size_t blocks = std::min(n, size());
   if (blocks <= 1) {
@@ -80,32 +97,38 @@ void ThreadPool::parallel_for_blocks(
     return;
   }
 
+  // Completion state shared with the workers. Everything here lives on the
+  // caller's stack, so the protocol must guarantee the caller cannot wake
+  // and return while any worker still touches it: the counter decrement is
+  // the worker's LAST access and happens under done_mutex, which makes the
+  // waiter's predicate (remaining == 0) observable only after the final
+  // worker is done with the condition variable and about to release the
+  // mutex. (The previous design decremented an atomic outside the lock and
+  // raced teardown against the final notify — see tests/stress.)
   std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<std::size_t> remaining{blocks};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::size_t remaining = blocks;  // guarded by done_mutex
 
   const std::size_t chunk = (n + blocks - 1) / blocks;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = begin + b * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     submit([&, lo, hi] {
+      std::exception_ptr error;
       try {
         if (lo < hi) body(lo, hi);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_all();
-      }
+      std::lock_guard lock(done_mutex);
+      if (error && !first_error) first_error = std::move(error);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
 
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

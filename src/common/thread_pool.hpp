@@ -37,15 +37,24 @@ class ThreadPool {
 
   /// Run `body(i)` for i in [begin, end), partitioned into contiguous
   /// blocks across the pool. Blocks until complete. Exceptions thrown by
-  /// `body` are rethrown on the calling thread (first one wins).
+  /// `body` are rethrown on the calling thread (first one wins) and the
+  /// pool remains usable afterwards. Must NOT be called from one of this
+  /// pool's own worker threads (throws lc::InternalError; such a call
+  /// would deadlock waiting on a worker slot the caller occupies).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
   /// Like parallel_for but hands each worker a [blockBegin, blockEnd)
-  /// range, letting the body amortise per-block setup.
+  /// range, letting the body amortise per-block setup. Same blocking,
+  /// exception, and no-reentrancy contract as parallel_for.
   void parallel_for_blocks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers (the
+  /// re-entrancy guard parallel_for uses; exposed for callers that want to
+  /// degrade to serial execution instead of throwing).
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// Process-wide default pool, sized to hardware concurrency.
   static ThreadPool& global();

@@ -1,0 +1,125 @@
+// Stress test for the lazily built octree cache in LowCommConvolution:
+// `convolve` / `octree_for` driven concurrently from many threads must
+// produce identical results and exactly one octree per sub-domain slot
+// (octrees_ under octree_mutex_).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+
+namespace lc::core {
+namespace {
+
+std::size_t stress_iters(std::size_t base) {
+  if (const char* env = std::getenv("LC_STRESS_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+RealField random_field(const Grid3& g, std::uint64_t seed) {
+  RealField f(g);
+  SplitMix64 rng(seed);
+  for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+  return f;
+}
+
+TEST(PipelineStress, ConcurrentConvolveSharesOctreeCacheSafely) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.2);
+  LowCommParams params;
+  params.subdomain = 8;
+  params.far_rate = 4;
+  const LowCommConvolution engine(g, kernel, params);
+  const RealField input = random_field(g, 77);
+
+  // Reference result computed single-threaded.
+  const LowCommResult want = engine.convolve(input);
+
+  const std::size_t threads = 8;
+  const std::size_t reps = stress_iters(4);
+  std::vector<std::thread> pool;
+  std::vector<int> ok(threads, 0);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        const LowCommResult got = engine.convolve(input);
+        if (got.compressed_samples != want.compressed_samples) return;
+        const auto a = got.output.span();
+        const auto b = want.output.span();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (a[i] != b[i]) return;
+        }
+      }
+      ok[t] = 1;
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t t = 0; t < threads; ++t) {
+    EXPECT_EQ(ok[t], 1) << "thread " << t << " saw a divergent result";
+  }
+}
+
+TEST(PipelineStress, OctreeForReturnsOneTreePerSlotUnderContention) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.2);
+  LowCommParams params;
+  params.subdomain = 8;
+  const LowCommConvolution engine(g, kernel, params);
+  const std::size_t count = engine.decomposition().count();
+
+  const std::size_t threads = 8;
+  std::vector<std::thread> pool;
+  std::vector<std::vector<const sampling::Octree*>> seen(
+      threads, std::vector<const sampling::Octree*>(count, nullptr));
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      // Walk the slots in a thread-dependent order to vary who builds what.
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t d = (i + t) % count;
+        seen[t][d] = engine.octree_for(d).get();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  // The lazily built tree must be constructed exactly once per slot: every
+  // thread observed the same pointer.
+  for (std::size_t d = 0; d < count; ++d) {
+    std::set<const sampling::Octree*> distinct;
+    for (std::size_t t = 0; t < threads; ++t) distinct.insert(seen[t][d]);
+    EXPECT_EQ(distinct.size(), 1u) << "slot " << d;
+  }
+}
+
+TEST(PipelineStress, ConcurrentConvolveOneAcrossDisjointSubdomains) {
+  const Grid3 g = Grid3::cube(16);
+  auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.2);
+  LowCommParams params;
+  params.subdomain = 8;
+  const LowCommConvolution engine(g, kernel, params);
+  const RealField input = random_field(g, 99);
+  const std::size_t count = engine.decomposition().count();
+
+  const std::size_t reps = stress_iters(6);
+  for (std::size_t r = 0; r < reps; ++r) {
+    std::vector<std::thread> pool;
+    std::vector<std::size_t> samples(count, 0);
+    for (std::size_t d = 0; d < count; ++d) {
+      pool.emplace_back([&, d] {
+        samples[d] = engine.convolve_one(input, d).samples().size();
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (std::size_t d = 0; d < count; ++d) EXPECT_GT(samples[d], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lc::core

@@ -1,0 +1,175 @@
+// Stress tests for comm::SimCluster: many ranks, overlapping collectives,
+// exact stats accounting under concurrency, and the error path (a throwing
+// rank must release peers stuck in barriers or blocking receives — for any
+// number of subsequent barriers, not just the first one).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "comm/sim_cluster.hpp"
+
+namespace lc::comm {
+namespace {
+
+std::size_t stress_iters(std::size_t base) {
+  if (const char* env = std::getenv("LC_STRESS_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+TEST(SimClusterStress, OverlappingCollectivesManyRanks) {
+  // Every rank runs a mixed collective schedule many times over; payload
+  // values encode (iteration, src, dst) so any cross-iteration bleed or
+  // mis-delivery is caught immediately.
+  const int p = 8;
+  SimCluster cluster(p);
+  const std::size_t iters = stress_iters(60);
+  cluster.run([&](Rank& rank) {
+    for (std::size_t it = 0; it < iters; ++it) {
+      std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        outgoing[static_cast<std::size_t>(d)] = {
+            static_cast<double>(it * 10000 + rank.id() * 100 + d)};
+      }
+      const auto incoming = rank.all_to_all(outgoing);
+      for (int s = 0; s < p; ++s) {
+        ASSERT_EQ(incoming[static_cast<std::size_t>(s)].at(0),
+                  static_cast<double>(it * 10000 + s * 100 + rank.id()));
+      }
+      const double sum = rank.all_reduce_sum(static_cast<double>(rank.id()));
+      ASSERT_DOUBLE_EQ(sum, static_cast<double>(p * (p - 1) / 2));
+      if (it % 4 == 0) {
+        const auto all =
+            rank.all_gather(std::vector<double>{static_cast<double>(rank.id())});
+        for (int s = 0; s < p; ++s) {
+          ASSERT_EQ(all[static_cast<std::size_t>(s)].at(0),
+                    static_cast<double>(s));
+        }
+      }
+      rank.barrier();
+    }
+  });
+}
+
+TEST(SimClusterStress, StatsStayExactUnderConcurrentSends) {
+  // All ranks blast point-to-point messages at once; the byte/message
+  // counters must come out exact (a non-atomic counter under-counts here
+  // and TSAN flags the increments).
+  const int p = 8;
+  const std::size_t per_pair = stress_iters(50);
+  const std::size_t payload = 16;
+  SimCluster cluster(p);
+  cluster.run([&](Rank& rank) {
+    const std::vector<double> msg(payload, static_cast<double>(rank.id()));
+    for (std::size_t m = 0; m < per_pair; ++m) {
+      for (int d = 0; d < p; ++d) {
+        if (d != rank.id()) rank.send(d, msg);
+      }
+    }
+    for (std::size_t m = 0; m < per_pair; ++m) {
+      for (int s = 0; s < p; ++s) {
+        if (s != rank.id()) {
+          const auto got = rank.recv(s);
+          ASSERT_EQ(got.size(), payload);
+          ASSERT_EQ(got.front(), static_cast<double>(s));
+        }
+      }
+    }
+  });
+  const std::size_t messages = static_cast<std::size_t>(p) *
+                               static_cast<std::size_t>(p - 1) * per_pair;
+  EXPECT_EQ(cluster.stats().messages.load(), messages);
+  EXPECT_EQ(cluster.stats().bytes_sent.load(),
+            messages * payload * sizeof(double));
+}
+
+TEST(SimClusterStress, RepeatedRunsReuseClusterCleanly) {
+  // run() reuse churn: the barrier generation, reduction scratch, and
+  // channels must all be reusable across many back-to-back SPMD bodies.
+  const int p = 6;
+  SimCluster cluster(p);
+  const std::size_t runs = stress_iters(80);
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::atomic<int> checks{0};
+    cluster.run([&](Rank& rank) {
+      const double sum =
+          rank.all_reduce_sum(static_cast<double>(rank.id() + 1));
+      ASSERT_DOUBLE_EQ(sum, static_cast<double>(p * (p + 1) / 2));
+      checks++;
+    });
+    ASSERT_EQ(checks.load(), p);
+  }
+}
+
+TEST(SimClusterStress, ThrowingRankReleasesRepeatedBarriers) {
+  // Rank 0 throws while the peers still have MANY barriers ahead of them.
+  // The original error path only advanced one barrier generation, so peers
+  // deadlocked on their second barrier; the abort protocol must unwind them
+  // all, and the run must rethrow the ORIGINAL error.
+  const int p = 8;
+  SimCluster cluster(p);
+  const std::size_t iters = stress_iters(30);
+  for (std::size_t it = 0; it < iters; ++it) {
+    try {
+      cluster.run([&](Rank& rank) {
+        if (rank.id() == 0) throw std::runtime_error("original failure");
+        for (int b = 0; b < 20; ++b) rank.barrier();
+      });
+      FAIL() << "expected the rank error to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "original failure");
+    }
+    // The cluster must stay fully usable after every failed run.
+    std::atomic<int> survivors{0};
+    cluster.run([&](Rank& rank) {
+      rank.barrier();
+      survivors++;
+    });
+    ASSERT_EQ(survivors.load(), p);
+  }
+}
+
+TEST(SimClusterStress, ThrowingRankReleasesCollectivesAndRecv) {
+  // Peers blocked inside collectives (barrier-based) and raw recv() on the
+  // throwing rank must all unwind instead of hanging.
+  const int p = 6;
+  SimCluster cluster(p);
+  const std::size_t iters = stress_iters(30);
+  for (std::size_t it = 0; it < iters; ++it) {
+    EXPECT_THROW(
+        cluster.run([&](Rank& rank) {
+          if (rank.id() == 0) throw std::runtime_error("sender died");
+          if (rank.id() == 1) {
+            (void)rank.recv(0);  // never arrives
+          } else {
+            (void)rank.all_reduce_sum(1.0);  // rank 0 never joins
+          }
+        }),
+        std::runtime_error);
+    cluster.run([](Rank& rank) { rank.barrier(); });
+  }
+}
+
+TEST(SimClusterStress, ReductionValuesNeverTearAcrossIterations) {
+  // Back-to-back reductions with distinct per-iteration contributions: any
+  // unsynchronised read of the shared result slot shows up as a wrong sum.
+  const int p = 8;
+  SimCluster cluster(p);
+  const std::size_t iters = stress_iters(200);
+  cluster.run([&](Rank& rank) {
+    for (std::size_t it = 0; it < iters; ++it) {
+      const double mine = static_cast<double>(it * p + rank.id());
+      const double want =
+          static_cast<double>(it * p * p + p * (p - 1) / 2);
+      ASSERT_DOUBLE_EQ(rank.all_reduce_sum(mine), want);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lc::comm

@@ -1,0 +1,137 @@
+// Stress tests for lc::ThreadPool.
+//
+// The key scenario is tiny-body parallel_for_blocks churn: with near-empty
+// bodies the waiting thread can observe `remaining == 0` and tear down the
+// stack-allocated completion state while the last worker is still between
+// its decrement and its notify. The original implementation decremented the
+// counter outside the completion mutex, so TSAN/ASAN flag a use-after-scope
+// on the mutex/condvar under exactly this churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace lc {
+namespace {
+
+// Iteration knob: default is sized for a sanitizer build in CI; raise via
+// LC_STRESS_ITERS for longer soak runs.
+std::size_t stress_iters(std::size_t base) {
+  if (const char* env = std::getenv("LC_STRESS_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+TEST(ThreadPoolStress, TinyBodyParallelForBlocksChurn) {
+  // Tiny bodies maximise the window between the last worker's decrement and
+  // the caller's return/destruction of the completion state.
+  ThreadPool pool(4);
+  const std::size_t iters = stress_iters(3000);
+  std::atomic<std::size_t> total{0};
+  for (std::size_t it = 0; it < iters; ++it) {
+    pool.parallel_for_blocks(0, 8, [&](std::size_t lo, std::size_t hi) {
+      total += hi - lo;
+    });
+  }
+  EXPECT_EQ(total.load(), iters * 8);
+}
+
+TEST(ThreadPoolStress, ParallelForChurnAcrossFreshPools) {
+  // Pool construction/teardown interleaved with work: exercises worker
+  // startup, the stopping flag, and join ordering.
+  const std::size_t iters = stress_iters(200);
+  for (std::size_t it = 0; it < iters; ++it) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(0, 64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAndWaiters) {
+  // Several external threads submitting while others spin on wait_idle:
+  // hammers the shared in_flight_ counter and both condition variables.
+  ThreadPool pool(4);
+  const std::size_t rounds = stress_iters(300);
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 4 * rounds);
+}
+
+TEST(ThreadPoolStress, ExceptionChurnKeepsPoolReusable) {
+  // Error-path churn: throwing bodies interleaved with clean ones. The pool
+  // must stay consistent (no lost in_flight_ decrements, no stuck waiters).
+  ThreadPool pool(4);
+  const std::size_t iters = stress_iters(500);
+  for (std::size_t it = 0; it < iters; ++it) {
+    if (it % 3 == 0) {
+      EXPECT_THROW(pool.parallel_for(0, 16,
+                                     [&](std::size_t i) {
+                                       if (i == it % 16) {
+                                         throw std::runtime_error("churn");
+                                       }
+                                     }),
+                   std::runtime_error);
+    } else {
+      std::atomic<std::size_t> hits{0};
+      pool.parallel_for(0, 16, [&](std::size_t) { hits++; });
+      EXPECT_EQ(hits.load(), 16u);
+    }
+  }
+}
+
+TEST(ThreadPoolStress, NestedParallelForFromWorkerIsRejected) {
+  // Calling parallel_for_blocks from inside a worker of the same pool would
+  // deadlock (the caller blocks holding a worker slot its own sub-tasks
+  // need). The pool must reject it loudly instead of hanging.
+  ThreadPool pool(2);
+  std::promise<bool> rejected;
+  auto fut = rejected.get_future();
+  pool.submit([&] {
+    try {
+      pool.parallel_for_blocks(0, 32, [](std::size_t, std::size_t) {});
+      rejected.set_value(false);
+    } catch (const InternalError&) {
+      rejected.set_value(true);
+    }
+  });
+  EXPECT_TRUE(fut.get());
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolStress, NestedCallIntoDifferentPoolIsAllowed) {
+  // A worker of pool A may drive pool B; only same-pool nesting deadlocks.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<std::size_t> total{0};
+  const std::size_t iters = stress_iters(100);
+  for (std::size_t it = 0; it < iters; ++it) {
+    outer.parallel_for_blocks(0, 2, [&](std::size_t, std::size_t) {
+      inner.parallel_for(0, 16, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  EXPECT_EQ(total.load(), iters * 2 * 16);
+}
+
+}  // namespace
+}  // namespace lc

@@ -115,6 +115,32 @@ TEST(SimCluster, AllToAllPersonalised) {
             static_cast<std::size_t>(p * (p - 1)));
 }
 
+TEST(SimCluster, AllToAllByteAccountingIsExact) {
+  // Five ranks exchange payloads of known, per-pair sizes; the concurrent
+  // stats counters must come out EXACT, not merely close (under-counting
+  // was the symptom of the original unsynchronised increments).
+  const int p = 5;
+  SimCluster cluster(p);
+  cluster.run([p](Rank& rank) {
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      outgoing[static_cast<std::size_t>(d)] =
+          std::vector<double>(static_cast<std::size_t>(rank.id() * p + d + 1));
+    }
+    (void)rank.all_to_all(outgoing);
+  });
+  std::size_t want_doubles = 0;
+  for (int src = 0; src < p; ++src) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (src != dst) want_doubles += static_cast<std::size_t>(src * p + dst + 1);
+    }
+  }
+  EXPECT_EQ(cluster.stats().bytes_sent.load(), want_doubles * sizeof(double));
+  EXPECT_EQ(cluster.stats().messages.load(),
+            static_cast<std::size_t>(p * (p - 1)));
+  EXPECT_EQ(cluster.stats().collective_rounds.load(), 1u);
+}
+
 TEST(SimCluster, AllGatherDeliversEverything) {
   const int p = 3;
   SimCluster cluster(p);

@@ -89,6 +89,56 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForBlocksPropagatesExceptionsAndStaysUsable) {
+  // After a throwing body the pool must be fully reusable: no lost
+  // in-flight accounting, no stuck workers, next runs cover the range.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for_blocks(0, 64,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo == 0) throw std::runtime_error("x");
+                                 }),
+        std::runtime_error);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for_blocks(0, hits.size(),
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+                             });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForBlocksZeroLengthRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for_blocks(5, 5, [&](std::size_t, std::size_t) {
+    touched = true;
+  });
+  EXPECT_FALSE(touched);
+  // Inverted ranges are treated as empty, not as a huge wrap-around.
+  pool.parallel_for_blocks(7, 3, [&](std::size_t, std::size_t) {
+    touched = true;
+  });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, RejectsParallelForFromOwnWorker) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&] {
+    EXPECT_TRUE(pool.on_worker_thread());
+    try {
+      pool.parallel_for(0, 8, [](std::size_t) {});
+    } catch (const InternalError&) {
+      threw = true;
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load());
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
