@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "green/gaussian.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
@@ -30,7 +31,7 @@ int main() {
   };
 
   {
-    TextTable table("Ablation A — uniform exterior rate r (k=16, halo via rate)");
+    bench::JsonTable table("ablation_rate","Ablation A — uniform exterior rate r (k=16, halo via rate)");
     table.header({"r", "L2 error", "compression", "exchange bytes"});
     for (const i64 r : {1, 2, 4, 8}) {
       core::LowCommParams params;
@@ -47,7 +48,7 @@ int main() {
   }
 
   {
-    TextTable table("Ablation B — dense halo width (k=16, banded policy, far r=8)");
+    bench::JsonTable table("ablation_halo","Ablation B — dense halo width (k=16, banded policy, far r=8)");
     table.header({"halo", "L2 error", "compression", "exchange bytes"});
     for (const i64 halo : {0, 2, 4, 8}) {
       core::LowCommParams params;
@@ -67,7 +68,7 @@ int main() {
   }
 
   {
-    TextTable table(
+    bench::JsonTable table("ablation_interp",
         "Ablation D — reconstruction order (k=16, banded, far r=8, halo 2)");
     table.header({"interpolation", "L2 error", "exchange bytes"});
     for (const auto interp : {sampling::Interpolation::kTrilinear,
@@ -92,7 +93,7 @@ int main() {
   }
 
   {
-    TextTable table("Ablation C — banded (paper Fig 3) vs uniform policy");
+    bench::JsonTable table("ablation_policy","Ablation C — banded (paper Fig 3) vs uniform policy");
     table.header({"policy", "L2 error", "compression", "exchange bytes"});
     core::LowCommParams banded;
     banded.subdomain = 16;

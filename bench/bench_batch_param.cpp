@@ -15,6 +15,7 @@
 #include "core/local_convolver.hpp"
 #include "device/memory_model.hpp"
 #include "green/gaussian.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
@@ -33,7 +34,7 @@ int main() {
     SplitMix64 rng(5);
     for (auto& v : chunk.span()) v = rng.uniform(-1.0, 1.0);
 
-    TextTable table("§5.4 — batch parameter B (measured, N=128, k=32)");
+    bench::JsonTable table("batch_param_measured","§5.4 — batch parameter B (measured, N=128, k=32)");
     table.header({"B", "time (ms)", "pencil buffers (KB)", "peak device (MB)"});
     for (const std::size_t batch : {128u, 512u, 1024u, 4096u}) {
       device::DeviceContext ctx(device::DeviceSpec::unlimited());
@@ -58,7 +59,7 @@ int main() {
 
   // --- Paper-scale memory effect of B (allocation plan) -------------------
   {
-    TextTable table("B vs device footprint at paper scale (plan, N=2048, k=64)");
+    bench::JsonTable table("batch_param_planned","B vs device footprint at paper scale (plan, N=2048, k=64)");
     table.header({"B", "pencil buffers (MB)", "actual total (GB)"});
     for (const std::size_t batch : {1024u, 4096u, 8192u, 32768u}) {
       const auto plan = device::plan_local_pipeline(

@@ -16,13 +16,14 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "green/gaussian.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
 
   // --- 1. Model sweep (Eqn 1 vs Eqn 6) -----------------------------------
   {
-    TextTable table("Eqn 1 vs Eqn 6 — modelled comm time per node (s)");
+    bench::JsonTable table("comm_model_modelled","Eqn 1 vs Eqn 6 — modelled comm time per node (s)");
     table.header({"N", "P", "k", "r", "T_FFT (Eqn 1)", "T_ours (Eqn 6)",
                   "Reduction"});
     const double beta_link = 1e9;  // points/s per link
@@ -44,7 +45,7 @@ int main() {
 
   // --- 2. Executed transfers on the simulated cluster ---------------------
   {
-    TextTable table("Executed bytes/rounds — slab FFT vs low-comm (SimCluster)");
+    bench::JsonTable table("comm_model_executed","Executed bytes/rounds — slab FFT vs low-comm (SimCluster)");
     table.header({"N", "ranks", "method", "bytes sent", "rounds", "messages"});
     for (const i64 n : {32, 64}) {
       const int ranks = 4;
@@ -82,7 +83,7 @@ int main() {
 
   // --- 3. §2.1 communication fractions ------------------------------------
   {
-    TextTable table("§2.1 — communication fraction, CPU vs 43x-accelerated");
+    bench::JsonTable table("comm_model_fraction","§2.1 — communication fraction, CPU vs 43x-accelerated");
     table.header({"platform", "comm fraction", "paper"});
     const i64 n = 1024;
     const int p = 4;

@@ -9,6 +9,7 @@
 #include "common/table.hpp"
 #include "sampling/compressed_field.hpp"
 #include "sampling/octree.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
@@ -55,7 +56,7 @@ int main() {
     });
   }
 
-  TextTable table("Fig 3 — adaptive sampling pattern (32^3 sub-domain in 128^3)");
+  bench::JsonTable table("fig3_octree","Fig 3 — adaptive sampling pattern (32^3 sub-domain in 128^3)");
   table.header({"Region", "Grid points", "Samples", "Density", "Eff. rate"});
   auto emit = [&](const char* label, std::size_t pts, std::size_t smp) {
     if (pts == 0) return;

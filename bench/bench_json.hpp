@@ -1,0 +1,148 @@
+// Tiny machine-readable sidecar for the bench harnesses: every table bench
+// prints its human TextTable as before AND drops a BENCH_<name>.json next
+// to the working directory, so CI / plotting scripts consume results
+// without scraping ASCII. Header-only, no dependencies.
+//
+// Usage mirrors TextTable so wiring a bench is three lines:
+//   lc::bench::JsonWriter json("table3_speedup");
+//   json.header({"N", "k", "ours_ms", ...});   // same order as the table
+//   json.row({...});                           // alongside every table.row
+//   json.write();                              // before returning
+//
+// Cells that parse fully as numbers are emitted as JSON numbers; anything
+// else (units, "-", "1.29 GB") stays a JSON string.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace lc::bench {
+
+class JsonWriter {
+ public:
+  /// `name` names the output file: BENCH_<name>.json in the current
+  /// working directory.
+  explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// Column keys; must be set before the first row.
+  void header(std::vector<std::string> keys) { keys_ = std::move(keys); }
+
+  /// One result row, cell-per-key in header order (ragged rows are
+  /// truncated/padded against the header like TextTable's).
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  /// Free-form top-level annotation ("units": "ms", "mode": "--full", ...).
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
+  /// Write BENCH_<name>.json; returns the path (empty string on I/O
+  /// failure — benches should not die because a sidecar could not open).
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fputs("{\n", f);
+    std::fprintf(f, "  \"bench\": %s,\n", quoted(name_).c_str());
+    for (const auto& [key, value] : meta_) {
+      std::fprintf(f, "  %s: %s,\n", quoted(key).c_str(),
+                   quoted(value).c_str());
+    }
+    std::fputs("  \"rows\": [\n", f);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fputs("    {", f);
+      for (std::size_t c = 0; c < keys_.size(); ++c) {
+        const std::string cell = c < rows_[r].size() ? rows_[r][c] : "";
+        std::fprintf(f, "%s%s: %s", c == 0 ? "" : ", ",
+                     quoted(keys_[c]).c_str(), value_of(cell).c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("  ]\n}\n", f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// Numbers pass through bare; everything else is quoted. The character
+  /// whitelist keeps strtod's "inf"/"nan" spellings (invalid JSON) quoted.
+  static std::string value_of(const std::string& cell) {
+    if (!cell.empty() &&
+        cell.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+      char* end = nullptr;
+      (void)std::strtod(cell.c_str(), &end);
+      if (end != nullptr && *end == '\0') {
+        return cell;  // the whole cell parsed as a number
+      }
+    }
+    return quoted(cell);
+  }
+
+  std::string name_;
+  std::vector<std::string> keys_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+};
+
+/// Drop-in TextTable replacement that mirrors every row into a JsonWriter:
+/// swapping `TextTable table("title")` for
+/// `bench::JsonTable table("name", "title")` is the whole migration of a
+/// bench — print() renders the ASCII table as before and writes the
+/// BENCH_<name>.json sidecar.
+class JsonTable {
+ public:
+  JsonTable(std::string json_name, std::string title)
+      : table_(std::move(title)), json_(std::move(json_name)) {}
+
+  void header(std::vector<std::string> cells) {
+    json_.header(cells);
+    table_.header(std::move(cells));
+  }
+  void row(std::vector<std::string> cells) {
+    json_.row(cells);
+    table_.row(std::move(cells));
+  }
+  /// Extra JSON-only annotation (not rendered in the ASCII table).
+  void meta(const std::string& key, const std::string& value) {
+    json_.meta(key, value);
+  }
+
+  void print() const {
+    table_.print();
+    const std::string path = json_.write();
+    if (!path.empty()) std::printf("[json] wrote %s\n", path.c_str());
+  }
+
+ private:
+  TextTable table_;
+  JsonWriter json_;
+};
+
+}  // namespace lc::bench

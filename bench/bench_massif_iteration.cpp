@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "massif/solver.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
@@ -18,7 +19,7 @@ int main() {
   Sym2 macro;
   macro.at(0, 0) = 0.01;
 
-  TextTable table("MASSIF Γ∗σ application — dense vs low-communication");
+  bench::JsonTable table("massif_iteration","MASSIF Γ∗σ application — dense vs low-communication");
   table.header({"N", "backend", "k", "r/halo", "time (ms)", "rel. error",
                 "exchange bytes", "dense all-to-all bytes"});
   for (const i64 n : {32, 64}) {

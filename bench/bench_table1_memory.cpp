@@ -6,11 +6,12 @@
 
 #include "common/table.hpp"
 #include "device/memory_model.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
 
-  TextTable table(
+  bench::JsonTable table("table1_memory",
       "Table 1 — memory for traditional FFT vs domain-local FFT (GB)");
   table.header({"Problem size", "Domain size", "Traditional FFT [GB]",
                 "Local FFT (ours) [GB]"});

@@ -14,11 +14,12 @@
 #include "common/table.hpp"
 #include "core/hyperparams.hpp"
 #include "device/memory_model.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
 
-  TextTable table("Table 2 — allowable sub-domain size k per grid size N");
+  bench::JsonTable table("table2_allowable_k","Table 2 — allowable sub-domain size k per grid size N");
   table.header({"N", "Allowable k (ours)", "Device", "Paper k", "Dense fits?"});
 
   struct Row {

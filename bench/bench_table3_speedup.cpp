@@ -22,12 +22,13 @@
 #include "core/pipeline.hpp"
 #include "fft/convolution.hpp"
 #include "green/gaussian.hpp"
+#include "bench_json.hpp"
 
 int main(int argc, char** argv) {
   using namespace lc;
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
 
-  TextTable table(
+  bench::JsonTable table("table3_speedup",
       "Table 3 — our method vs dense FFT, single sub-domain convolution");
   table.header({"N", "k", "r", "Ours (ms)", "Dense (ms)", "Speedup",
                 "L2 error", "Paper speedup"});

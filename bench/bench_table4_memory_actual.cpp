@@ -18,11 +18,12 @@
 #include "core/local_convolver.hpp"
 #include "device/memory_model.hpp"
 #include "green/gaussian.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace lc;
 
-  TextTable table("Table 4 — estimated vs actual device memory (GB)");
+  bench::JsonTable table("table4_memory_actual","Table 4 — estimated vs actual device memory (GB)");
   table.header({"N", "k", "r", "Estimated (GB)", "Actual (GB)", "Ratio",
                 "Paper est/actual"});
 

@@ -3,16 +3,17 @@
 //
 //   build/examples/quickstart
 //
-// Walks through the library's core objects: a kernel spectrum evaluated on
-// the fly, the hyperparameters (sub-domain size k, downsampling rate r,
-// dense halo), the one-call convolution API, and the accuracy /
-// compression / communication numbers it reports.
+// Walks through the library's serving entry point: a kernel spectrum
+// evaluated on the fly, the hyperparameters (sub-domain size k,
+// downsampling rate r, dense halo), a ConvolutionService request, and the
+// accuracy / compression / communication numbers it reports. Repeating the
+// request shows the runtime's caches at work.
 #include <cstdio>
 
 #include "baseline/dense.hpp"
 #include "common/rng.hpp"
-#include "core/pipeline.hpp"
 #include "green/gaussian.hpp"
+#include "runtime/service.hpp"
 
 int main() {
   using namespace lc;
@@ -35,27 +36,42 @@ int main() {
   params.far_rate = 8;    // coarsest downsampling rate
   params.dense_halo = 3;  // full-resolution skin beyond each sub-domain
 
-  // 4. Convolve. Sub-domains are processed locally, one at a time, each
-  //    result stored compressed; accumulation interpolates and sums them.
-  const core::LowCommConvolution engine(grid, kernel, params);
-  const core::LowCommResult result = engine.convolve(input);
+  // 4. Convolve through the service. It owns the FFT plans, octrees, and
+  //    engines, caches them across requests, and batches concurrent
+  //    requests — the entry point a long-lived solver or server uses.
+  runtime::ConvolutionService service;
+  runtime::ConvolutionRequest request;
+  request.input = input;
+  request.kernel = kernel;
+  request.params = params;
+  const runtime::ConvolutionResponse response = service.run(request);
+  const core::LowCommResult& result = response.result;
 
   // 5. Compare against the traditional dense FFT convolution.
   const RealField reference = baseline::dense_convolve(input, *kernel);
   const double err =
       relative_l2_error(result.output.span(), reference.span());
 
+  // 6. Run the same request again: the content-addressed result cache
+  //    answers without recomputing anything.
+  const runtime::ConvolutionResponse again = service.run(request);
+
   std::printf("grid                : %lld^3\n",
               static_cast<long long>(grid.nx));
   std::printf("sub-domains         : %zu of %lld^3\n",
-              engine.decomposition().count(),
+              response.stats.subdomains,
               static_cast<long long>(params.subdomain));
   std::printf("retained samples    : %zu (compression %.1fx)\n",
               result.compressed_samples, result.compression_ratio);
   std::printf("exchanged bytes     : %zu (vs %zu dense per-domain)\n",
               result.exchanged_bytes,
-              engine.decomposition().count() * grid.size() * sizeof(double));
+              response.stats.subdomains * grid.size() * sizeof(double));
   std::printf("relative L2 error   : %.3f%% (paper tolerance: 3%%)\n",
               err * 100.0);
-  return err < 0.03 ? 0 : 1;
+  std::printf("repeat request      : %s in %.2f ms (first: %.2f ms)\n",
+              again.stats.result_cache_hit ? "result-cache hit"
+                                           : "cache MISS (unexpected)",
+              again.stats.run_seconds * 1e3,
+              response.stats.run_seconds * 1e3);
+  return err < 0.03 && again.stats.result_cache_hit ? 0 : 1;
 }

@@ -1,0 +1,130 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace lc {
+
+BufferArena::Lease& BufferArena::Lease::operator=(Lease&& o) noexcept {
+  if (this != &o) {
+    release();
+    arena_ = std::exchange(o.arena_, nullptr);
+    buf_ = std::move(o.buf_);
+    bytes_ = std::exchange(o.bytes_, 0);
+  }
+  return *this;
+}
+
+void BufferArena::Lease::release() noexcept {
+  if (bytes_ == 0 && buf_.empty()) return;
+  if (arena_ != nullptr) {
+    arena_->give_back(std::move(buf_), bytes_);
+    arena_ = nullptr;
+  }
+  buf_ = AlignedVector<std::byte>();
+  bytes_ = 0;
+}
+
+BufferArena::BufferArena(std::size_t retain_limit_bytes, ByteHook byte_hook)
+    : retain_limit_(retain_limit_bytes), byte_hook_(std::move(byte_hook)) {}
+
+BufferArena::~BufferArena() { trim(); }
+
+BufferArena::Lease BufferArena::acquire(std::size_t bytes) {
+  LC_CHECK_ARG(bytes > 0, "arena lease must be non-empty");
+  Lease lease;
+  lease.bytes_ = bytes;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.acquires;
+    auto it = free_.lower_bound(bytes);
+    // Accept a pooled buffer only when it doesn't waste more than half its
+    // capacity on this request; oversized leftovers stay pooled for bigger
+    // requests.
+    if (it != free_.end() && it->first <= bytes * 2) {
+      lease.arena_ = this;
+      lease.buf_ = std::move(it->second);
+      // The pooled buffer's size may trail this (larger) request even
+      // though its capacity covers it; grow in place so as<T>() spans
+      // live elements.
+      if (lease.buf_.size() < bytes) lease.buf_.resize(bytes);
+      stats_.retained_bytes -= it->first;
+      stats_.outstanding_bytes += it->first;
+      stats_.bytes_reused += bytes;
+      ++stats_.reuses;
+      free_.erase(it);
+      return lease;
+    }
+  }
+  // Fresh allocation outside the lock; footprint grows by the capacity.
+  if (byte_hook_) byte_hook_(static_cast<std::ptrdiff_t>(bytes));
+  try {
+    lease.buf_.resize(bytes);
+  } catch (...) {
+    if (byte_hook_) byte_hook_(-static_cast<std::ptrdiff_t>(bytes));
+    throw;
+  }
+  lease.arena_ = this;
+  // Account the actual capacity so release() balances exactly even if the
+  // vector over-allocated.
+  const std::size_t cap = lease.buf_.capacity();
+  if (cap != bytes && byte_hook_) {
+    byte_hook_(static_cast<std::ptrdiff_t>(cap) -
+               static_cast<std::ptrdiff_t>(bytes));
+  }
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_allocated += cap;
+    stats_.outstanding_bytes += cap;
+  }
+  return lease;
+}
+
+BufferArena::Lease BufferArena::unpooled(std::size_t bytes) {
+  LC_CHECK_ARG(bytes > 0, "arena lease must be non-empty");
+  Lease lease;
+  lease.buf_.resize(bytes);
+  lease.bytes_ = bytes;
+  return lease;  // arena_ stays null → freed on release
+}
+
+void BufferArena::give_back(AlignedVector<std::byte> buf,
+                            std::size_t /*bytes*/) noexcept {
+  const std::size_t cap = buf.capacity();
+  bool kept = false;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.outstanding_bytes -= cap;
+    if (stats_.retained_bytes + cap <= retain_limit_) {
+      stats_.retained_bytes += cap;
+      free_.emplace(cap, std::move(buf));
+      kept = true;
+    }
+  }
+  if (!kept) {
+    buf = AlignedVector<std::byte>();  // free before reporting shrink
+    if (byte_hook_) byte_hook_(-static_cast<std::ptrdiff_t>(cap));
+  }
+}
+
+void BufferArena::trim() {
+  std::multimap<std::size_t, AlignedVector<std::byte>> doomed;
+  std::size_t freed = 0;
+  {
+    std::lock_guard lock(mutex_);
+    doomed.swap(free_);
+    freed = stats_.retained_bytes;
+    stats_.retained_bytes = 0;
+  }
+  doomed.clear();
+  if (byte_hook_ && freed > 0) byte_hook_(-static_cast<std::ptrdiff_t>(freed));
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lc

@@ -1,0 +1,108 @@
+// BufferArena: a thread-safe recycling pool for large scratch buffers.
+//
+// The local convolution pipeline needs tens of megabytes of slab / staging /
+// pencil scratch per request. Allocating them fresh every time pays both
+// malloc and first-touch page-fault cost; a serving runtime issues thousands
+// of such requests, so the arena keeps released buffers on a free list and
+// hands them back to the next request of a compatible size. Buffers are
+// leased RAII-style; a lease can also be created "unpooled" so call sites
+// keep a single code path whether or not an arena is wired in.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+
+#include "common/aligned.hpp"
+
+namespace lc {
+
+/// Recycling pool of aligned byte buffers. All methods are thread-safe.
+class BufferArena {
+ public:
+  /// Cumulative and instantaneous accounting (bytes_reused is the total
+  /// demand served from the free list — the "bytes reused" a service
+  /// reports).
+  struct Stats {
+    std::size_t acquires = 0;          ///< total acquire() calls
+    std::size_t reuses = 0;            ///< acquires served from the pool
+    std::size_t bytes_allocated = 0;   ///< cumulative fresh allocation
+    std::size_t bytes_reused = 0;      ///< cumulative pooled bytes served
+    std::size_t retained_bytes = 0;    ///< currently pooled (idle) bytes
+    std::size_t outstanding_bytes = 0; ///< currently leased bytes
+  };
+
+  /// Signed byte delta applied whenever the arena's total footprint
+  /// (retained + outstanding) grows or shrinks — the hook a runtime uses to
+  /// mirror arena memory into a device::DeviceContext without this layer
+  /// depending on device. May throw on growth (e.g. ResourceExhausted); the
+  /// triggering acquire() then fails without leaking accounting.
+  using ByteHook = std::function<void(std::ptrdiff_t delta)>;
+
+  /// RAII lease of one buffer. Returns the buffer to its arena (or frees
+  /// it, for unpooled leases) on destruction or release().
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { release(); }
+    Lease(Lease&& o) noexcept { *this = std::move(o); }
+    Lease& operator=(Lease&& o) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// Usable size (the byte count passed to acquire, not the capacity).
+    [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+    [[nodiscard]] bool empty() const noexcept { return bytes_ == 0; }
+
+    /// The leased storage viewed as a span of T (kAlignment-aligned).
+    template <typename T>
+    [[nodiscard]] std::span<T> as() noexcept {
+      return {reinterpret_cast<T*>(buf_.data()), bytes_ / sizeof(T)};
+    }
+
+    /// Return the buffer early (no-op on an empty lease).
+    void release() noexcept;
+
+   private:
+    friend class BufferArena;
+    BufferArena* arena_ = nullptr;  // nullptr → unpooled
+    AlignedVector<std::byte> buf_;
+    std::size_t bytes_ = 0;
+  };
+
+  /// `retain_limit_bytes` caps the idle free-list size: buffers released
+  /// beyond it are freed instead of pooled.
+  explicit BufferArena(std::size_t retain_limit_bytes = 1ull << 30,
+                       ByteHook byte_hook = nullptr);
+  ~BufferArena();
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// Lease a buffer of at least `bytes`. Reuses the smallest pooled buffer
+  /// whose capacity is within 2× of the request (avoiding pathological
+  /// waste), else allocates fresh. Contents are unspecified.
+  [[nodiscard]] Lease acquire(std::size_t bytes);
+
+  /// One-shot plain allocation with the same Lease interface (no pooling);
+  /// lets callers use arena-or-heap uniformly.
+  [[nodiscard]] static Lease unpooled(std::size_t bytes);
+
+  /// Free every idle pooled buffer (leased buffers are unaffected).
+  void trim();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void give_back(AlignedVector<std::byte> buf, std::size_t bytes) noexcept;
+
+  mutable std::mutex mutex_;
+  std::multimap<std::size_t, AlignedVector<std::byte>> free_;  // capacity → buf
+  Stats stats_;
+  std::size_t retain_limit_;
+  ByteHook byte_hook_;
+};
+
+}  // namespace lc

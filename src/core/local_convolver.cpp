@@ -1,5 +1,7 @@
 #include "core/local_convolver.hpp"
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -10,15 +12,19 @@ namespace lc::core {
 LocalConvolver::LocalConvolver(const Grid3& grid,
                                std::shared_ptr<const SpectralOperator> op,
                                LocalConvolverConfig config)
-    : grid_(grid),
-      op_(std::move(op)),
-      config_(config),
-      fft_n_(static_cast<std::size_t>(grid.nx)) {
+    : grid_(grid), op_(std::move(op)), config_(std::move(config)) {
   LC_CHECK_ARG(grid.nx == grid.ny && grid.ny == grid.nz,
                "local convolver requires a cubic grid");
   LC_CHECK_ARG(op_ != nullptr, "null spectral operator");
   LC_CHECK_ARG(op_->channels() >= 1, "operator needs at least one channel");
   LC_CHECK_ARG(config_.batch >= 1, "batch must be >= 1");
+  if (config_.plan != nullptr) {
+    LC_CHECK_ARG(config_.plan->size() == static_cast<std::size_t>(grid.nx),
+                 "injected plan length != grid side");
+    fft_n_ = config_.plan;
+  } else {
+    fft_n_ = std::make_shared<fft::Fft1D>(static_cast<std::size_t>(grid.nx));
+  }
 }
 
 LocalConvolver::LocalConvolver(
@@ -109,18 +115,31 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
   ScopedDeviceAlloc payload_mem(config_.device,
                                 nchan * results[0].sample_bytes());
 
+  // Slab / staging scratch comes from the arena when one is wired in, so a
+  // serving runtime recycles these multi-MB buffers between requests
+  // instead of re-faulting fresh pages. The unpooled fallback keeps one
+  // code path.
+  const std::size_t slab_elems =
+      nchan * plane_elems * static_cast<std::size_t>(k);
+  auto slab_lease = config_.arena != nullptr
+                        ? config_.arena->acquire(slab_elems * sizeof(cplx))
+                        : BufferArena::unpooled(slab_elems * sizeof(cplx));
+  const std::span<cplx> slab = slab_lease.as<cplx>();
+  // Stage 1 scatters only the k×k chunk rows; everything else must be zero
+  // (recycled buffers carry the previous request's data).
+  std::fill(slab.begin(), slab.end(), cplx{0.0, 0.0});
+  const auto slab_of = [&](std::size_t ch) {
+    return slab.data() + ch * plane_elems * static_cast<std::size_t>(k);
+  };
+
   // --- Stage 1: zero-pad xy per slice, 2D transform into slabs ------------
-  std::vector<ComplexField> slabs;
-  slabs.reserve(nchan);
-  for (std::size_t c = 0; c < nchan; ++c) slabs.emplace_back(Grid3{n, n, k});
   run_blocks(
       config_.pool, static_cast<std::size_t>(k) * nchan,
       [&](std::size_t lo, std::size_t hi, fft::FftWorkspace& ws) {
         for (std::size_t job = lo; job < hi; ++job) {
           const std::size_t ch = job / static_cast<std::size_t>(k);
           const auto zl = static_cast<i64>(job % static_cast<std::size_t>(k));
-          cplx* plane = slabs[ch].data() +
-                        static_cast<std::size_t>(zl) * plane_elems;
+          cplx* plane = slab_of(ch) + static_cast<std::size_t>(zl) * plane_elems;
           // Scatter the chunk slice; the rest of the plane stays zero.
           for (i64 y = 0; y < k; ++y) {
             cplx* row = plane +
@@ -131,22 +150,25 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
             }
           }
           // x transform: only the k nonzero rows need transforming.
-          fft_n_.forward_strided(
+          fft_n_->forward_strided(
               plane + static_cast<std::size_t>(corner.y) * un, 1, un,
               static_cast<std::size_t>(k), ws);
           // y transform: all N pencils (x spectra fill the whole row).
-          fft_n_.forward_strided(plane, un, 1, un, ws);
+          fft_n_->forward_strided(plane, un, 1, un, ws);
         }
       });
 
   // --- Stage 2: batched z pencils with the per-bin operator ---------------
-  std::vector<std::vector<ComplexField>> staging(nchan);
-  for (std::size_t c = 0; c < nchan; ++c) {
-    staging[c].reserve(planes.size());
-    for (std::size_t i = 0; i < planes.size(); ++i) {
-      staging[c].emplace_back(Grid3{n, n, 1});
-    }
-  }
+  // Staging needs no zero fill: every pencil writes every retained plane.
+  const std::size_t staging_elems = nchan * planes.size() * plane_elems;
+  auto staging_lease =
+      config_.arena != nullptr
+          ? config_.arena->acquire(staging_elems * sizeof(cplx))
+          : BufferArena::unpooled(staging_elems * sizeof(cplx));
+  const std::span<cplx> staging = staging_lease.as<cplx>();
+  const auto staging_plane = [&](std::size_t ch, std::size_t i) {
+    return staging.data() + (ch * planes.size() + i) * plane_elems;
+  };
 
   const std::size_t pencils = plane_elems;
   const std::size_t batches = (pencils + config_.batch - 1) / config_.batch;
@@ -167,11 +189,10 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
             for (std::size_t ch = 0; ch < nchan; ++ch) {
               for (i64 zl = 0; zl < k; ++zl) {
                 zin[static_cast<std::size_t>(zl)] =
-                    slabs[ch].data()[static_cast<std::size_t>(zl) *
-                                         plane_elems +
-                                     p];
+                    slab_of(ch)[static_cast<std::size_t>(zl) * plane_elems +
+                                p];
               }
-              fft::input_pruned_forward(fft_n_, zin,
+              fft::input_pruned_forward(*fft_n_, zin,
                                         static_cast<std::size_t>(corner.z),
                                         zbuf[ch], ws);
             }
@@ -188,16 +209,16 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
             // Inverse z transform; keep only the retained planes (the
             // "store callback" of Fig 4).
             for (std::size_t ch = 0; ch < nchan; ++ch) {
-              fft_n_.inverse(zbuf[ch], ws);
+              fft_n_->inverse(zbuf[ch], ws);
               for (std::size_t i = 0; i < planes.size(); ++i) {
-                staging[ch][i].data()[p] =
+                staging_plane(ch, i)[p] =
                     zbuf[ch][static_cast<std::size_t>(planes[i])];
               }
             }
           }
         }
       });
-  slabs.clear();  // slab memory is dead after the z stage
+  slab_lease.release();  // slab memory is dead after the z stage
 
   // --- Stage 3: per retained plane, 2D inverse + octree sampling ----------
   const auto by_plane = cells_by_plane(*tree);
@@ -208,10 +229,10 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
         for (std::size_t job = lo; job < hi; ++job) {
           const std::size_t ch = job / planes.size();
           const std::size_t i = job % planes.size();
-          ComplexField& plane = staging[ch][i];
+          cplx* plane = staging_plane(ch, i);
           // Inverse y (pencils, stride N), then inverse x (rows).
-          fft_n_.inverse_strided(plane.data(), un, 1, un, ws);
-          fft_n_.inverse_strided(plane.data(), 1, un, un, ws);
+          fft_n_->inverse_strided(plane, un, 1, un, ws);
+          fft_n_->inverse_strided(plane, 1, un, un, ws);
           auto payload = results[ch].samples();
           // Store callback: extract this plane's octree lattice samples.
           for (const auto& [ci, iz] :
@@ -223,8 +244,8 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
               for (i64 ix = 0; ix < e; ++ix) {
                 const i64 xx = (c.corner.x + ix * c.rate) % n;
                 payload[c.sample_offset + c.sample_index(ix, iy, iz)] =
-                    plane.data()[static_cast<std::size_t>(yy) * un +
-                                 static_cast<std::size_t>(xx)]
+                    plane[static_cast<std::size_t>(yy) * un +
+                          static_cast<std::size_t>(xx)]
                         .real();
               }
             }

@@ -25,9 +25,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "core/spectral_operator.hpp"
 #include "device/device.hpp"
+#include "fft/fft1d.hpp"
 #include "sampling/compressed_field.hpp"
 
 namespace lc::core {
@@ -41,6 +43,12 @@ struct LocalConvolverConfig {
   /// Optional simulated device; when set, all pipeline buffers are
   /// registered against its capacity and peak tracking.
   device::DeviceContext* device = nullptr;
+  /// Pre-built length-N plan shared across engines (the runtime plan
+  /// cache's reuse hook); must match the grid side. Null → build our own.
+  std::shared_ptr<const fft::Fft1D> plan;
+  /// Optional scratch recycler: slab and staging buffers are leased from it
+  /// instead of allocated per call. Null → plain per-call allocation.
+  BufferArena* arena = nullptr;
 };
 
 /// Immutable local convolution engine for a fixed grid and operator.
@@ -77,7 +85,9 @@ class LocalConvolver {
   Grid3 grid_;
   std::shared_ptr<const SpectralOperator> op_;
   LocalConvolverConfig config_;
-  fft::Fft1D fft_n_;  // length-N plan shared by every axis (cubic grid)
+  // Length-N plan shared by every axis (cubic grid); either injected via
+  // LocalConvolverConfig::plan or built here.
+  std::shared_ptr<const fft::Fft1D> fft_n_;
 };
 
 /// RAII registration of `bytes` against an optional device context.

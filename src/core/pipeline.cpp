@@ -33,6 +33,19 @@ std::shared_ptr<const sampling::Octree> LowCommConvolution::octree_for(
   return slot;
 }
 
+void LowCommConvolution::seed_octree(
+    std::size_t subdomain_index,
+    std::shared_ptr<const sampling::Octree> tree) const {
+  LC_CHECK_ARG(subdomain_index < decomp_.count(), "sub-domain index range");
+  LC_CHECK_ARG(tree != nullptr, "null octree");
+  LC_CHECK_ARG(tree->grid() == decomp_.grid() &&
+                   tree->subdomain() == decomp_.subdomain(subdomain_index),
+               "seeded octree does not match the sub-domain");
+  std::lock_guard lock(octree_mutex_);
+  auto& slot = octrees_[subdomain_index];
+  if (slot == nullptr) slot = std::move(tree);
+}
+
 sampling::CompressedField LowCommConvolution::convolve_one(
     const RealField& input, std::size_t subdomain_index) const {
   LC_CHECK_ARG(input.grid() == decomp_.grid(), "input grid mismatch");

@@ -68,6 +68,14 @@ class LowCommConvolution {
   [[nodiscard]] std::shared_ptr<const sampling::Octree> octree_for(
       std::size_t subdomain_index) const;
 
+  /// Pre-seed the octree slot for sub-domain i with an externally cached
+  /// tree (runtime::ConvolutionService reuse hook: octrees survive engine
+  /// eviction in the service's resource cache and are re-adopted here).
+  /// The tree must match this engine's grid and sub-domain box; a slot
+  /// already populated is left untouched.
+  void seed_octree(std::size_t subdomain_index,
+                   std::shared_ptr<const sampling::Octree> tree) const;
+
  private:
   DomainDecomposition decomp_;
   LowCommParams params_;

@@ -9,6 +9,7 @@
 // peak usage.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -36,37 +37,57 @@ struct DeviceSpec {
   }
 };
 
-/// Byte-tracked, capacity-limited allocation context.
+/// Byte-tracked, capacity-limited allocation context. Thread-safe: the
+/// runtime service registers allocations from many concurrent requests
+/// against one device budget, so the capacity check and the usage update
+/// form a single atomic step (CAS loop), and the peak is maintained with a
+/// monotonic fetch-max.
 class DeviceContext {
  public:
   explicit DeviceContext(DeviceSpec spec) : spec_(std::move(spec)) {}
 
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
-  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
-  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_; }
-  void reset_peak() noexcept { peak_ = used_; }
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset_peak() noexcept {
+    peak_.store(used_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
 
   /// Register an allocation; throws ResourceExhausted beyond capacity.
   void register_alloc(std::size_t bytes) {
-    if (bytes > spec_.capacity_bytes - used_ || used_ > spec_.capacity_bytes) {
-      throw ResourceExhausted(
-          "device '" + spec_.name + "' out of memory: requested " +
-          std::to_string(bytes) + " B with " + std::to_string(used_) +
-          " B in use of " + std::to_string(spec_.capacity_bytes) + " B");
+    std::size_t cur = used_.load(std::memory_order_relaxed);
+    do {
+      if (bytes > spec_.capacity_bytes - cur || cur > spec_.capacity_bytes) {
+        throw ResourceExhausted(
+            "device '" + spec_.name + "' out of memory: requested " +
+            std::to_string(bytes) + " B with " + std::to_string(cur) +
+            " B in use of " + std::to_string(spec_.capacity_bytes) + " B");
+      }
+    } while (!used_.compare_exchange_weak(cur, cur + bytes,
+                                          std::memory_order_relaxed));
+    const std::size_t now = cur + bytes;
+    std::size_t p = peak_.load(std::memory_order_relaxed);
+    while (now > p &&
+           !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
     }
-    used_ += bytes;
-    if (used_ > peak_) peak_ = used_;
   }
 
   void register_free(std::size_t bytes) noexcept {
-    LC_ASSERT(bytes <= used_);
-    used_ -= bytes;
+    const std::size_t prev =
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+    LC_ASSERT(bytes <= prev);
+    (void)prev;
   }
 
  private:
   DeviceSpec spec_;
-  std::size_t used_ = 0;
-  std::size_t peak_ = 0;
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
 /// RAII device buffer of T. Movable, non-copyable; returns its bytes to the

@@ -4,13 +4,21 @@
 
 namespace lc::fft {
 
-Fft3D::Fft3D(const Grid3& g, ThreadPool* pool)
-    : grid_(g),
-      pool_(pool),
-      fx_(static_cast<std::size_t>(g.nx)),
-      fy_(static_cast<std::size_t>(g.ny)),
-      fz_(static_cast<std::size_t>(g.nz)) {
+Fft3D::Fft3D(const Grid3& g, ThreadPool* pool) : grid_(g), pool_(pool) {
   LC_CHECK_ARG(g.nx >= 1 && g.ny >= 1 && g.nz >= 1, "empty FFT grid");
+  fx_ = std::make_shared<LazyPlan<Fft1D>>(static_cast<std::size_t>(g.nx));
+  fy_ = g.ny == g.nx
+            ? fx_
+            : std::make_shared<LazyPlan<Fft1D>>(static_cast<std::size_t>(g.ny));
+  fz_ = g.nz == g.nx ? fx_
+        : g.nz == g.ny
+            ? fy_
+            : std::make_shared<LazyPlan<Fft1D>>(static_cast<std::size_t>(g.nz));
+}
+
+bool Fft3D::axis_plan_built(int axis) const {
+  LC_CHECK_ARG(axis >= 0 && axis <= 2, "axis must be 0, 1 or 2");
+  return (axis == 0 ? fx_ : axis == 1 ? fy_ : fz_)->built();
 }
 
 void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
@@ -37,39 +45,42 @@ void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
 
   switch (axis) {
     case 0: {  // x rows: contiguous, one row per (y, z)
+      const Fft1D& fx = fx_->get();
       const std::size_t rows = ny * nz;
       run_blocks(rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
         cplx* p = base + lo * nx;
         const std::size_t n = hi - lo;
         if (inv) {
-          fx_.inverse_strided(p, 1, nx, n, ws);
+          fx.inverse_strided(p, 1, nx, n, ws);
         } else {
-          fx_.forward_strided(p, 1, nx, n, ws);
+          fx.forward_strided(p, 1, nx, n, ws);
         }
       });
       break;
     }
     case 1: {  // y pencils: elem stride nx; one slab per z
+      const Fft1D& fy = fy_->get();
       run_blocks(nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
         for (std::size_t z = lo; z < hi; ++z) {
           cplx* p = base + z * nx * ny;
           if (inv) {
-            fy_.inverse_strided(p, nx, 1, nx, ws);
+            fy.inverse_strided(p, nx, 1, nx, ws);
           } else {
-            fy_.forward_strided(p, nx, 1, nx, ws);
+            fy.forward_strided(p, nx, 1, nx, ws);
           }
         }
       });
       break;
     }
     case 2: {  // z pencils: elem stride nx*ny; one pencil per (x, y)
+      const Fft1D& fz = fz_->get();
       const std::size_t plane = nx * ny;
       run_blocks(plane, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
         cplx* p = base + lo;
         if (inv) {
-          fz_.inverse_strided(p, plane, 1, hi - lo, ws);
+          fz.inverse_strided(p, plane, 1, hi - lo, ws);
         } else {
-          fz_.forward_strided(p, plane, 1, hi - lo, ws);
+          fz.forward_strided(p, plane, 1, hi - lo, ws);
         }
       });
       break;

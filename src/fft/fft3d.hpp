@@ -5,13 +5,19 @@
 // for the slab stages of the low-communication pipeline.
 #pragma once
 
+#include <memory>
+
 #include "common/thread_pool.hpp"
 #include "fft/fft1d.hpp"
+#include "fft/lazy_plan.hpp"
 #include "tensor/field.hpp"
 
 namespace lc::fft {
 
 /// Immutable 3D FFT plan for a fixed grid. Thread-safe execution.
+/// Construction is O(1): per-axis twiddle tables are built lazily (and
+/// thread-safely) on the first sweep of each axis, and axes of equal length
+/// share one table, so a cubic grid builds a single 1D plan on first use.
 class Fft3D {
  public:
   /// Build a plan for grid `g`; `pool` is used for intra-transform
@@ -19,6 +25,9 @@ class Fft3D {
   explicit Fft3D(const Grid3& g, ThreadPool* pool = &ThreadPool::global());
 
   [[nodiscard]] const Grid3& grid() const noexcept { return grid_; }
+
+  /// Has the 1D plan for `axis` (0 = x, 1 = y, 2 = z) been built yet?
+  [[nodiscard]] bool axis_plan_built(int axis) const;
 
   /// In-place forward 3D DFT.
   void forward(ComplexField& f) const;
@@ -34,9 +43,10 @@ class Fft3D {
 
   Grid3 grid_;
   ThreadPool* pool_;
-  Fft1D fx_;
-  Fft1D fy_;
-  Fft1D fz_;
+  // Shared when axis lengths coincide (always, for cubic grids).
+  std::shared_ptr<LazyPlan<Fft1D>> fx_;
+  std::shared_ptr<LazyPlan<Fft1D>> fy_;
+  std::shared_ptr<LazyPlan<Fft1D>> fz_;
 };
 
 /// Forward-transform a real field into a full complex spectrum (convenience

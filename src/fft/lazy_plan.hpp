@@ -1,0 +1,49 @@
+// Lazily constructed 1D plan holders.
+//
+// 3D plans used to build all per-axis twiddle tables in their constructors,
+// even when a caller only ever runs one axis (transform_axis) or one
+// direction. A serving runtime constructs many plans speculatively (cache
+// cold paths, per-request engines), so construction must be O(1): the table
+// build is deferred to first use of the axis, double-checked-locked via
+// std::call_once so concurrent first users race safely and build exactly
+// once. Axes of equal length share one holder (cubic grids build one table
+// instead of three).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+
+namespace lc::fft {
+
+/// Thread-safe lazily-built wrapper around an immutable 1D plan type
+/// (Fft1D, RealFft1D, ...). `get()` builds on first call; `built()` is a
+/// race-free probe (tests and cost accounting).
+template <typename Plan>
+class LazyPlan {
+ public:
+  explicit LazyPlan(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::size_t length() const noexcept { return n_; }
+
+  [[nodiscard]] const Plan& get() const {
+    std::call_once(once_, [this] {
+      plan_.emplace(n_);
+      built_.store(true, std::memory_order_release);
+    });
+    return *plan_;
+  }
+
+  [[nodiscard]] bool built() const noexcept {
+    return built_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t n_;
+  mutable std::once_flag once_;
+  mutable std::optional<Plan> plan_;
+  mutable std::atomic<bool> built_{false};
+};
+
+}  // namespace lc::fft

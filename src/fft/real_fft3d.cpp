@@ -5,13 +5,13 @@
 namespace lc::fft {
 
 RealFft3D::RealFft3D(const Grid3& g, ThreadPool* pool)
-    : grid_(g),
-      sgrid_{g.nx / 2 + 1, g.ny, g.nz},
-      pool_(pool),
-      fx_(static_cast<std::size_t>(g.nx)),
-      fy_(static_cast<std::size_t>(g.ny)),
-      fz_(static_cast<std::size_t>(g.nz)) {
+    : grid_(g), sgrid_{g.nx / 2 + 1, g.ny, g.nz}, pool_(pool) {
   LC_CHECK_ARG(g.nx >= 2 && g.ny >= 1 && g.nz >= 1, "grid too small for r2c");
+  fx_ = std::make_shared<LazyPlan<RealFft1D>>(static_cast<std::size_t>(g.nx));
+  fy_ = std::make_shared<LazyPlan<Fft1D>>(static_cast<std::size_t>(g.ny));
+  fz_ = g.nz == g.ny
+            ? fy_
+            : std::make_shared<LazyPlan<Fft1D>>(static_cast<std::size_t>(g.nz));
 }
 
 namespace {
@@ -38,25 +38,27 @@ void RealFft3D::sweep_yz(ComplexField& s, bool inv) const {
   const auto nz = static_cast<std::size_t>(sgrid_.nz);
   cplx* base = s.data();
 
+  const Fft1D& fy = fy_->get();
+  const Fft1D& fz = fz_->get();
   if (!inv) {
     // y pencils (stride hx) per z-slab, then z pencils (stride hx·ny).
     run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
       for (std::size_t z = lo; z < hi; ++z) {
-        fy_.forward_strided(base + z * hx * ny, hx, 1, hx, ws);
+        fy.forward_strided(base + z * hx * ny, hx, 1, hx, ws);
       }
     });
     run_blocks(pool_, hx * ny,
                [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
-                 fz_.forward_strided(base + lo, hx * ny, 1, hi - lo, ws);
+                 fz.forward_strided(base + lo, hx * ny, 1, hi - lo, ws);
                });
   } else {
     run_blocks(pool_, hx * ny,
                [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
-                 fz_.inverse_strided(base + lo, hx * ny, 1, hi - lo, ws);
+                 fz.inverse_strided(base + lo, hx * ny, 1, hi - lo, ws);
                });
     run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
       for (std::size_t z = lo; z < hi; ++z) {
-        fy_.inverse_strided(base + z * hx * ny, hx, 1, hx, ws);
+        fy.inverse_strided(base + z * hx * ny, hx, 1, hx, ws);
       }
     });
   }
@@ -69,9 +71,10 @@ ComplexField RealFft3D::forward(const RealField& in) const {
   const auto hx = static_cast<std::size_t>(sgrid_.nx);
   const std::size_t rows = static_cast<std::size_t>(grid_.ny) *
                            static_cast<std::size_t>(grid_.nz);
+  const RealFft1D& fx = fx_->get();
   run_blocks(pool_, rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
     for (std::size_t row = lo; row < hi; ++row) {
-      fx_.forward({in.data() + row * nx, nx}, {s.data() + row * hx, hx}, ws);
+      fx.forward({in.data() + row * nx, nx}, {s.data() + row * hx, hx}, ws);
     }
   });
   sweep_yz(s, /*inv=*/false);
@@ -86,10 +89,11 @@ RealField RealFft3D::inverse(ComplexField spectrum) const {
   const auto hx = static_cast<std::size_t>(sgrid_.nx);
   const std::size_t rows = static_cast<std::size_t>(grid_.ny) *
                            static_cast<std::size_t>(grid_.nz);
+  const RealFft1D& fx = fx_->get();
   run_blocks(pool_, rows, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
     for (std::size_t row = lo; row < hi; ++row) {
-      fx_.inverse({spectrum.data() + row * hx, hx}, {out.data() + row * nx, nx},
-                  ws);
+      fx.inverse({spectrum.data() + row * hx, hx}, {out.data() + row * nx, nx},
+                 ws);
     }
   });
   return out;

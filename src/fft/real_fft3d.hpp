@@ -8,14 +8,19 @@
 // calls for.
 #pragma once
 
+#include <memory>
+
 #include "common/thread_pool.hpp"
 #include "fft/fft1d.hpp"
+#include "fft/lazy_plan.hpp"
 #include "fft/real_fft.hpp"
 #include "tensor/field.hpp"
 
 namespace lc::fft {
 
 /// Immutable 3D r2c/c2r plan for a fixed grid. Thread-safe execution.
+/// Construction is O(1): the packed-real x plan and the complex y/z plans
+/// are built lazily on first use (y and z share one table when ny == nz).
 class RealFft3D {
  public:
   explicit RealFft3D(const Grid3& g, ThreadPool* pool = &ThreadPool::global());
@@ -37,9 +42,9 @@ class RealFft3D {
   Grid3 grid_;
   Grid3 sgrid_;
   ThreadPool* pool_;
-  RealFft1D fx_;
-  Fft1D fy_;
-  Fft1D fz_;
+  std::shared_ptr<LazyPlan<RealFft1D>> fx_;
+  std::shared_ptr<LazyPlan<Fft1D>> fy_;
+  std::shared_ptr<LazyPlan<Fft1D>> fz_;
 };
 
 }  // namespace lc::fft

@@ -1,6 +1,7 @@
 #include "green/gaussian.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.hpp"
 #include "fft/dft_direct.hpp"
@@ -71,6 +72,14 @@ GaussianSpectrum::GaussianSpectrum(const Grid3& g, double sigma)
       axis_y_(axis_spectrum(g.ny, sigma)),
       axis_z_(axis_spectrum(g.nz, sigma)) {
   LC_CHECK_ARG(sigma > 0.0, "sigma must be positive");
+}
+
+std::string GaussianSpectrum::cache_key() const {
+  // sigma is part of the identity: two tenants with different widths must
+  // never share cached spectra or engines.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "gaussian/sigma=%.17g", sigma_);
+  return buf;
 }
 
 cplx GaussianSpectrum::eval(const Index3& bin, const Grid3& g) const {

@@ -32,6 +32,7 @@ class GaussianSpectrum final : public KernelSpectrum {
 
   [[nodiscard]] cplx eval(const Index3& bin, const Grid3& g) const override;
   [[nodiscard]] std::string name() const override { return "gaussian"; }
+  [[nodiscard]] std::string cache_key() const override;
 
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
 

@@ -29,6 +29,12 @@ class KernelSpectrum {
   /// Human-readable kernel name (for bench output).
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Identity string for resource caching (runtime::ConvolutionService):
+  /// two kernels with the same cache_key are assumed interchangeable, so
+  /// parameterised kernels MUST fold every parameter into the key (the
+  /// default is name(), which suffices only for parameter-free kernels).
+  [[nodiscard]] virtual std::string cache_key() const { return name(); }
+
   /// Materialise the full dense spectrum (test/baseline use).
   [[nodiscard]] ComplexField materialize(const Grid3& g) const;
 };

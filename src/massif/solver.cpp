@@ -43,8 +43,13 @@ LowCommGreenBackend::LowCommGreenBackend(const Grid3& grid,
     : decomp_(grid, params.subdomain),
       params_(params),
       convolver_(grid, std::make_shared<ElasticGreenOperator>(reference),
-                 core::LocalConvolverConfig{params.batch, params.pool,
-                                            params.device}),
+                 [&params] {
+                   core::LocalConvolverConfig cfg;
+                   cfg.batch = params.batch;
+                   cfg.pool = params.pool;
+                   cfg.device = params.device;
+                   return cfg;
+                 }()),
       octrees_(decomp_.count()) {
   const sampling::SamplingPolicy policy =
       params_.uniform_rate.has_value()

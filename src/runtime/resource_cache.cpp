@@ -1,0 +1,134 @@
+#include "runtime/resource_cache.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace lc::runtime {
+
+ResourceCache::ResourceCache(Config config)
+    : config_(config),
+      build_stripes_(config.stripes == 0 ? 1 : config.stripes) {}
+
+ResourceCache::~ResourceCache() { clear(); }
+
+std::shared_ptr<const void> ResourceCache::peek(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+std::shared_ptr<const void> ResourceCache::get_or_build_erased(
+    const std::string& key, std::size_t bytes,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  // Fast path: resident entry.
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.value;
+    }
+  }
+
+  // Miss: serialise builders of the same stripe so a key is built once
+  // even under a thundering herd, while different stripes proceed freely.
+  const std::size_t stripe =
+      std::hash<std::string>{}(key) % build_stripes_.size();
+  std::lock_guard build_lock(build_stripes_[stripe]);
+
+  // Re-check: another thread may have built it while we waited.
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.value;
+    }
+    ++stats_.misses;
+  }
+
+  std::shared_ptr<const void> value = build();
+  LC_CHECK(value != nullptr, "resource builder returned null");
+
+  // Destroy evicted values outside the lock (they may be big).
+  std::vector<std::shared_ptr<const void>> doomed;
+  {
+    std::lock_guard lock(mutex_);
+    if (!insert_locked(key, value, bytes, doomed)) {
+      ++stats_.uncacheable;
+    }
+  }
+  return value;
+}
+
+bool ResourceCache::insert_locked(
+    const std::string& key, std::shared_ptr<const void> value,
+    std::size_t bytes, std::vector<std::shared_ptr<const void>>& doomed) {
+  if (bytes > config_.byte_budget) return false;
+
+  // Make room: evict from the cold end until the newcomer fits.
+  while (stats_.bytes + bytes > config_.byte_budget && !lru_.empty()) {
+    const std::string& victim_key = lru_.back();
+    auto vit = map_.find(victim_key);
+    LC_CHECK(vit != map_.end(), "LRU entry missing from map");
+    stats_.bytes -= vit->second.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    if (config_.device != nullptr) {
+      config_.device->register_free(vit->second.bytes);
+    }
+    doomed.push_back(std::move(vit->second.value));
+    map_.erase(vit);
+    lru_.pop_back();
+  }
+
+  if (config_.device != nullptr) {
+    try {
+      config_.device->register_alloc(bytes);
+    } catch (const ResourceExhausted&) {
+      // Device is full with non-cache allocations; serve uncached.
+      return false;
+    }
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.bytes = bytes;
+  entry.lru_it = lru_.begin();
+  map_.emplace(key, std::move(entry));
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  return true;
+}
+
+void ResourceCache::clear() {
+  std::vector<std::shared_ptr<const void>> doomed;
+  std::lock_guard lock(mutex_);
+  doomed.reserve(map_.size());
+  for (auto& [key, entry] : map_) {
+    if (config_.device != nullptr) {
+      config_.device->register_free(entry.bytes);
+    }
+    doomed.push_back(std::move(entry.value));
+  }
+  map_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+CacheStats ResourceCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lc::runtime

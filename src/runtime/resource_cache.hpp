@@ -1,0 +1,113 @@
+// ResourceCache: the keyed plan/resource cache of the serving runtime.
+//
+// Everything the convolution pipeline builds that is reusable across
+// requests — 1D FFT plans and their twiddle tables, per-sub-domain octrees,
+// materialised kernel spectra, whole LowCommConvolution engines, and
+// (optionally) content-addressed results — lives here under a string key.
+// Entries are built exactly once under a striped build mutex (concurrent
+// misses on *different* keys build in parallel; concurrent misses on the
+// same stripe serialise and the losers find the winner's entry), LRU-evicted
+// against a byte budget, and mirrored byte-for-byte into an optional
+// device::DeviceContext so cache residency shows up in the same capacity
+// accounting as pipeline buffers. This is the P3DFFT/OpenFFT "pre-initialise
+// once, transform many times" idea lifted to the serving layer.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace lc::runtime {
+
+/// Cache-wide counters (a snapshot; see ResourceCache::stats()).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;    ///< entries displaced by the byte budget
+  std::size_t uncacheable = 0;  ///< builds too large to retain
+  std::size_t bytes = 0;        ///< resident bytes now
+  std::size_t entries = 0;      ///< resident entries now
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Thread-safe keyed LRU cache of shared immutable resources.
+class ResourceCache {
+ public:
+  struct Config {
+    std::size_t byte_budget = 512ull << 20;
+    /// Optional device mirror: every resident byte is register_alloc'ed
+    /// here and register_free'd on eviction/clear, so cache + workspace
+    /// share one capacity number.
+    device::DeviceContext* device = nullptr;
+    std::size_t stripes = 16;  ///< build-mutex stripes
+  };
+
+  // (Delegation instead of a `= {}` default argument: GCC cannot evaluate
+  // a braced default for a nested aggregate inside its enclosing class.)
+  ResourceCache() : ResourceCache(Config{}) {}
+  explicit ResourceCache(Config config);
+  ~ResourceCache();
+
+  ResourceCache(const ResourceCache&) = delete;
+  ResourceCache& operator=(const ResourceCache&) = delete;
+
+  /// Return the entry under `key`, building it with `build` on a miss.
+  /// `bytes` is the entry's accounted size. Entries larger than the budget
+  /// are returned but not retained (counted as uncacheable).
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<const T> get_or_build(
+      const std::string& key, std::size_t bytes,
+      const std::function<std::shared_ptr<const T>()>& build) {
+    return std::static_pointer_cast<const T>(get_or_build_erased(
+        key, bytes,
+        [&]() -> std::shared_ptr<const void> { return build(); }));
+  }
+
+  /// Lookup without building; nullptr on miss. Counts toward hit/miss.
+  [[nodiscard]] std::shared_ptr<const void> peek(const std::string& key);
+
+  /// Drop every entry (device bytes are returned).
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const noexcept {
+    return config_.byte_budget;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;  // position in lru_ (front = hot)
+  };
+
+  [[nodiscard]] std::shared_ptr<const void> get_or_build_erased(
+      const std::string& key, std::size_t bytes,
+      const std::function<std::shared_ptr<const void>()>& build);
+
+  /// Insert under the global lock, evicting LRU entries to fit. Returns
+  /// false if the entry cannot fit (too big, or the device refused).
+  bool insert_locked(const std::string& key,
+                     std::shared_ptr<const void> value, std::size_t bytes,
+                     std::vector<std::shared_ptr<const void>>& doomed);
+
+  Config config_;
+  mutable std::mutex mutex_;                    // map + lru + stats
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;                  // front = most recent
+  CacheStats stats_;
+  std::vector<std::mutex> build_stripes_;
+};
+
+}  // namespace lc::runtime

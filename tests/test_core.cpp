@@ -342,6 +342,36 @@ TEST(Hyperparams, FarRateFollowsProblemRatio) {
   EXPECT_EQ(recommended_far_rate(8192, 32), 32);  // clamp high
 }
 
+TEST(Hyperparams, FarRateBoundaryCases) {
+  // N == k: one sub-domain covers everything; the ratio floors at the
+  // clamp's low end rather than degenerating to 1.
+  EXPECT_EQ(recommended_far_rate(32, 32), 2);
+  EXPECT_EQ(recommended_far_rate(1, 1), 2);
+  // k not dividing N: the heuristic works off the integer ratio; a 3:1
+  // split rounds up to the next power of two.
+  EXPECT_EQ(recommended_far_rate(96, 32), 4);   // 96/32 = 3 → 4
+  EXPECT_EQ(recommended_far_rate(100, 32), 4);  // 100/32 = 3 → 4
+  EXPECT_EQ(recommended_far_rate(33, 32), 2);   // 33/32 = 1 → clamp low
+  // Clamp exactness at both rails.
+  EXPECT_EQ(recommended_far_rate(64, 32), 2);
+  EXPECT_EQ(recommended_far_rate(128, 2), 32);
+}
+
+TEST(Hyperparams, FarRateRejectsInvalidShapes) {
+  EXPECT_THROW((void)recommended_far_rate(16, 32), InvalidArgument);  // n < k
+  EXPECT_THROW((void)recommended_far_rate(16, 0), InvalidArgument);   // k < 1
+  EXPECT_THROW((void)recommended_far_rate(16, -4), InvalidArgument);
+}
+
+TEST(Hyperparams, BatchRecommendationBoundaries) {
+  // Below the floor, at the pow2 fixpoint, and above the ceiling.
+  EXPECT_EQ(recommended_batch(1), 512u);
+  EXPECT_EQ(recommended_batch(512), 512u);
+  EXPECT_EQ(recommended_batch(513), 1024u);   // next_pow2 rounding
+  EXPECT_EQ(recommended_batch(32768), 32768u);
+  EXPECT_EQ(recommended_batch(32769), 32768u);  // clamp high
+}
+
 TEST(Hyperparams, SelectionFitsDevice) {
   const auto advice =
       select_hyperparams(512, device::DeviceSpec::v100_16gb());

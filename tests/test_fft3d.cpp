@@ -2,6 +2,10 @@
 // O(N^6) references on small grids.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "fft/convolution.hpp"
 #include "fft/dft_direct.hpp"
@@ -215,6 +219,63 @@ TEST(Convolution, GridMismatchThrows) {
   RealField b(Grid3{4, 4, 8});
   Fft3D plan(Grid3{4, 4, 4});
   EXPECT_THROW(fft_circular_convolve(a, b, plan), InvalidArgument);
+}
+
+// --- Lazy per-axis plans ----------------------------------------------------
+
+TEST(Fft3D, AxisPlansBuildLazily) {
+  // Construction must not pay for twiddle tables; a z-only sweep must
+  // build the z plan and nothing else (x and y stay cold).
+  Fft3D plan(Grid3{8, 16, 32});
+  EXPECT_FALSE(plan.axis_plan_built(0));
+  EXPECT_FALSE(plan.axis_plan_built(1));
+  EXPECT_FALSE(plan.axis_plan_built(2));
+
+  ComplexField f(Grid3{8, 16, 32});
+  plan.transform_axis(f, 2, false);
+  EXPECT_FALSE(plan.axis_plan_built(0));
+  EXPECT_FALSE(plan.axis_plan_built(1));
+  EXPECT_TRUE(plan.axis_plan_built(2));
+}
+
+TEST(Fft3D, EqualAxesShareOnePlan) {
+  // On a cubic grid the three axes share one LazyPlan holder: building any
+  // axis marks them all built.
+  Fft3D plan(Grid3{16, 16, 16});
+  ComplexField f(Grid3{16, 16, 16});
+  plan.transform_axis(f, 0, false);
+  EXPECT_TRUE(plan.axis_plan_built(0));
+  EXPECT_TRUE(plan.axis_plan_built(1));
+  EXPECT_TRUE(plan.axis_plan_built(2));
+}
+
+TEST(Fft3D, ConcurrentFirstUseBuildsSafely) {
+  // Many threads race the first transform; std::call_once must yield one
+  // plan and every thread a correct result.
+  const Grid3 g{16, 16, 16};
+  const ComplexField input = [&] {
+    ComplexField f(g);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+    }
+    return f;
+  }();
+  Fft3D reference_plan(g);
+  ComplexField expected = input;
+  reference_plan.forward(expected);
+
+  Fft3D plan(g, nullptr);
+  constexpr int kThreads = 8;
+  std::vector<ComplexField> results(kThreads, input);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&plan, &results, t] { plan.forward(results[t]); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& r : results) {
+    EXPECT_LT(max_err(r, expected), 1e-12);
+  }
 }
 
 }  // namespace
