@@ -1,9 +1,24 @@
 // Micro-benchmarks of the FFT substrate: 1D radix-2 vs Bluestein, real vs
-// complex transforms, 3D sweeps, strided pencils, and the input/output
-// pruning ablation (full transform + subsample vs direct evaluation).
+// complex transforms, 3D sweeps, strided pencils, batch-major SIMD pencils
+// vs the scalar path, and the input/output pruning ablation (full transform
+// + subsample vs direct evaluation).
+//
+// Two modes:
+//   (default)      google-benchmark over everything registered below.
+//   --json-probe   deterministic best-of-N timing of the pencil scalar/batch
+//                  pairs only; writes BENCH_fft_micro.json (bench_json.hpp)
+//                  for the CI perf-smoke gate (bench/check_perf_regression.py).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string_view>
+
+#include "bench_json.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "fft/fft1d.hpp"
 #include "fft/fft3d.hpp"
 #include "fft/pruned.hpp"
@@ -160,6 +175,120 @@ void BM_StridedPencils(benchmark::State& state) {
 }
 BENCHMARK(BM_StridedPencils);
 
+void BM_PencilBatch_Scalar(benchmark::State& state) {
+  // Reference: B contiguous pencils one at a time (scalar butterflies).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n * batch);
+  for (auto _ : state) {
+    plan.forward_strided(data.data(), 1, n, batch, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * batch));
+}
+BENCHMARK(BM_PencilBatch_Scalar)
+    ->Args({128, 8})->Args({128, 32})->Args({256, 8})->Args({256, 32});
+
+void BM_PencilBatch_Simd(benchmark::State& state) {
+  // Batch-major SoA path: SIMD lanes across pencils (kBatchTile at a time).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto data = random_signal(n * batch);
+  for (auto _ : state) {
+    plan.forward_batch(data.data(), 1, n, batch, ws);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * batch));
+}
+BENCHMARK(BM_PencilBatch_Simd)
+    ->Args({128, 8})->Args({128, 32})->Args({256, 8})->Args({256, 32});
+
+// ---------------------------------------------------------------------------
+// --json-probe: deterministic pencil scalar/batch timings for the CI gate.
+
+/// Median-free best-of-runs throughput of `op` over `items` complex items.
+double probe_mitems(const std::function<void()>& op, std::size_t items) {
+  using clock = std::chrono::steady_clock;
+  op();  // warm caches and scratch
+  // Calibrate rep count for ~30 ms per timed run.
+  auto t0 = clock::now();
+  op();
+  double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const int reps = std::max(1, static_cast<int>(0.03 / std::max(once, 1e-7)));
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    t0 = clock::now();
+    for (int r = 0; r < reps; ++r) op();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    const double rate =
+        static_cast<double>(items) * reps / dt / 1e6;  // Mitems/s
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+int run_json_probe() {
+  lc::bench::JsonWriter json("fft_micro");
+  json.meta("simd_backend", std::string(simd::kBackend));
+  json.meta("units", "mitems_per_s");
+  json.header({"case", "n", "batch", "path", "mitems_per_s"});
+
+  struct Case {
+    const char* name;
+    std::size_t n;
+    std::size_t batch;
+  };
+  // The pow2 rows are the regression gate; the Bluestein row is
+  // informational (checker only gates "batch" rows of pow2 cases).
+  const Case cases[] = {{"pencil_pow2", 128, 8},
+                        {"pencil_pow2", 128, 32},
+                        {"pencil_pow2", 256, 8},
+                        {"pencil_pow2", 256, 32},
+                        {"pencil_bluestein", 100, 32}};
+  for (const auto& c : cases) {
+    Fft1D plan(c.n);
+    FftWorkspace ws;
+    auto data = random_signal(c.n * c.batch);
+    const auto run_path = [&](const char* path, auto&& op) {
+      const double rate = probe_mitems(op, c.n * c.batch);
+      char num[32];
+      std::snprintf(num, sizeof(num), "%.1f", rate);
+      json.row({c.name, std::to_string(c.n), std::to_string(c.batch), path,
+                num});
+      std::printf("%-18s n=%-4zu B=%-3zu %-7s %8.1f Mitems/s\n", c.name, c.n,
+                  c.batch, path, rate);
+    };
+    run_path("scalar", [&] {
+      plan.forward_strided(data.data(), 1, c.n, c.batch, ws);
+    });
+    run_path("batch", [&] {
+      plan.forward_batch(data.data(), 1, c.n, c.batch, ws);
+    });
+  }
+  const std::string path = json.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_fft_micro.json\n");
+    return 1;
+  }
+  std::printf("[json] wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json-probe") return run_json_probe();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the batched FFT engine.
+
+Compares a freshly produced BENCH_fft_micro.json (from
+`bench_fft_micro --json-probe`) against the committed baseline in
+bench/baselines/ and fails if any gated row regressed by more than the
+threshold.
+
+Gated rows: path == "batch" of the pow2 pencil cases — the throughput the
+paper's batching parameter B depends on. Scalar and Bluestein rows are
+reported but informational (scalar is the reference path; Bluestein adds
+noise from the chirp length's allocator behaviour).
+
+Refreshing the baseline (after an intentional engine change, or when moving
+CI to different hardware):
+
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel -j --target bench_fft_micro
+    (cd build-rel && ./bench/bench_fft_micro --json-probe)
+    cp build-rel/BENCH_fft_micro.json bench/baselines/BENCH_fft_micro.json
+
+Usage: check_perf_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row["case"], int(row["n"]), int(row["batch"]), row["path"])
+        rows[key] = float(row["mitems_per_s"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional throughput drop on gated "
+                         "rows (default 0.15)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    failures = []
+    print(f"{'case':<18} {'n':>5} {'B':>4} {'path':<7} "
+          f"{'base':>9} {'now':>9} {'ratio':>7}")
+    for key in sorted(base):
+        case, n, batch, path = key
+        b = base[key]
+        gated = path == "batch" and case == "pencil_pow2"
+        if key not in cur:
+            print(f"{case:<18} {n:>5} {batch:>4} {path:<7} "
+                  f"{b:>9.1f} {'MISSING':>9}")
+            if gated:
+                failures.append(f"{key}: row missing from current results")
+            continue
+        c = cur[key]
+        ratio = c / b if b > 0 else float("inf")
+        mark = ""
+        if gated and c < b * (1.0 - args.threshold):
+            mark = "  << REGRESSION"
+            failures.append(
+                f"{case} n={n} B={batch} {path}: {b:.1f} -> {c:.1f} "
+                f"Mitems/s ({(1 - ratio) * 100:.1f}% drop, "
+                f"limit {args.threshold * 100:.0f}%)")
+        print(f"{case:<18} {n:>5} {batch:>4} {path:<7} "
+              f"{b:>9.1f} {c:>9.1f} {ratio:>6.2f}x{mark}")
+
+    if failures:
+        print("\nPerf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("\nIf the change is intentional, refresh the baseline "
+              "(see this script's docstring).", file=sys.stderr)
+        return 1
+    print("\nPerf regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
 // Cache-line / SIMD aligned allocation for numeric buffers.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 namespace lc {
@@ -45,5 +48,62 @@ class AlignedAllocator {
 /// Vector with SIMD/cache-line aligned storage.
 template <typename T>
 using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Grow-only aligned scratch buffer for transform workspaces.
+///
+/// Unlike AlignedVector::resize, ensure() never value-initializes: scratch
+/// contents are unspecified by contract, so zeroing them is pure memset tax
+/// (O(n) per growth, which repeated mixed-size transforms used to pay on
+/// every size bump). Capacity grows geometrically (2x) so a sequence of
+/// increasing requests settles after O(log n) allocations, and old contents
+/// are NOT carried over on growth.
+template <typename T>
+class AlignedScratch {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedScratch holds raw uninitialized storage");
+
+ public:
+  AlignedScratch() = default;
+  ~AlignedScratch() { std::free(buf_); }
+  AlignedScratch(AlignedScratch&& o) noexcept
+      : buf_(o.buf_), capacity_(o.capacity_) {
+    o.buf_ = nullptr;
+    o.capacity_ = 0;
+  }
+  AlignedScratch& operator=(AlignedScratch&& o) noexcept {
+    if (this != &o) {
+      std::free(buf_);
+      buf_ = o.buf_;
+      capacity_ = o.capacity_;
+      o.buf_ = nullptr;
+      o.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedScratch(const AlignedScratch&) = delete;
+  AlignedScratch& operator=(const AlignedScratch&) = delete;
+
+  /// Span of at least n elements, contents unspecified (kAlignment-aligned).
+  [[nodiscard]] std::span<T> ensure(std::size_t n) {
+    if (n > capacity_) {
+      const std::size_t want = std::max(n, 2 * capacity_);
+      const std::size_t bytes =
+          ((want * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+      void* p = std::aligned_alloc(kAlignment, bytes);
+      if (p == nullptr) throw std::bad_alloc();
+      std::free(buf_);
+      buf_ = static_cast<T*>(p);
+      capacity_ = bytes / sizeof(T);
+    }
+    return {buf_, n};
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  T* buf_ = nullptr;
+  std::size_t capacity_ = 0;
+};
 
 }  // namespace lc

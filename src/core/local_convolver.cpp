@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "common/check.hpp"
-#include "fft/pruned.hpp"
 
 namespace lc::core {
 
@@ -150,11 +149,10 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
             }
           }
           // x transform: only the k nonzero rows need transforming.
-          fft_n_->forward_strided(
-              plane + static_cast<std::size_t>(corner.y) * un, 1, un,
-              static_cast<std::size_t>(k), ws);
+          fft_n_->forward_batch(plane + static_cast<std::size_t>(corner.y) * un,
+                                1, un, static_cast<std::size_t>(k), ws);
           // y transform: all N pencils (x spectra fill the whole row).
-          fft_n_->forward_strided(plane, un, 1, un, ws);
+          fft_n_->forward_batch(plane, un, 1, un, ws);
         }
       });
 
@@ -175,45 +173,43 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
   run_blocks(
       config_.pool, batches,
       [&](std::size_t blo, std::size_t bhi, fft::FftWorkspace& ws) {
-        std::vector<cplx> zin(static_cast<std::size_t>(k));
-        std::vector<std::vector<cplx>> zbuf(nchan, std::vector<cplx>(un));
-        std::vector<cplx> bin_values(nchan);
+        // Batch-major pencil scratch, layout [channel][pencil][z]:
+        // channel ch of pencil p is the contiguous run
+        // zbuf[(ch * config_.batch + p) * n .. +n). One lease per block.
+        const std::size_t zbuf_elems = nchan * config_.batch * un;
+        auto zbuf_lease =
+            config_.arena != nullptr
+                ? config_.arena->acquire(zbuf_elems * sizeof(cplx))
+                : BufferArena::unpooled(zbuf_elems * sizeof(cplx));
+        cplx* zbuf = zbuf_lease.as<cplx>().data();
+        const std::size_t chan_stride = config_.batch * un;
         for (std::size_t b = blo; b < bhi; ++b) {
           const std::size_t p0 = b * config_.batch;
-          const std::size_t p1 = std::min(pencils, p0 + config_.batch);
-          for (std::size_t p = p0; p < p1; ++p) {
-            const i64 x = static_cast<i64>(p % un);
-            const i64 y = static_cast<i64>(p / un);
-            // Input-pruned forward z transform per channel (offset =
-            // global corner.z; only k inputs are nonzero).
-            for (std::size_t ch = 0; ch < nchan; ++ch) {
-              for (i64 zl = 0; zl < k; ++zl) {
-                zin[static_cast<std::size_t>(zl)] =
-                    slab_of(ch)[static_cast<std::size_t>(zl) * plane_elems +
-                                p];
-              }
-              fft::input_pruned_forward(*fft_n_, zin,
-                                        static_cast<std::size_t>(corner.z),
-                                        zbuf[ch], ws);
-            }
-            // Per-bin operator across channels, evaluated on the fly.
-            for (i64 jz = 0; jz < n; ++jz) {
-              for (std::size_t ch = 0; ch < nchan; ++ch) {
-                bin_values[ch] = zbuf[ch][static_cast<std::size_t>(jz)];
-              }
-              op_->apply({x, y, jz}, grid_, bin_values);
-              for (std::size_t ch = 0; ch < nchan; ++ch) {
-                zbuf[ch][static_cast<std::size_t>(jz)] = bin_values[ch];
-              }
-            }
-            // Inverse z transform; keep only the retained planes (the
-            // "store callback" of Fig 4).
-            for (std::size_t ch = 0; ch < nchan; ++ch) {
-              fft_n_->inverse(zbuf[ch], ws);
-              for (std::size_t i = 0; i < planes.size(); ++i) {
-                staging_plane(ch, i)[p] =
-                    zbuf[ch][static_cast<std::size_t>(planes[i])];
-              }
+          const std::size_t np = std::min(pencils, p0 + config_.batch) - p0;
+          // Input-pruned forward z transforms, kBatchTile pencils per SIMD
+          // tile (offset = global corner.z; only k inputs are nonzero).
+          for (std::size_t ch = 0; ch < nchan; ++ch) {
+            fft_n_->forward_batch_pruned(
+                slab_of(ch) + p0, plane_elems, 1, static_cast<std::size_t>(k),
+                static_cast<std::size_t>(corner.z), zbuf + ch * chan_stride,
+                un, np, ws);
+          }
+          // Per-bin operator, one vectorized pass per pencil.
+          for (std::size_t p = 0; p < np; ++p) {
+            const i64 x = static_cast<i64>((p0 + p) % un);
+            const i64 y = static_cast<i64>((p0 + p) / un);
+            op_->apply_z_pencil(x, y, 0, grid_, zbuf + p * un, un,
+                                chan_stride);
+          }
+          // Inverse z transforms; keep only the retained planes (the
+          // "store callback" of Fig 4).
+          for (std::size_t ch = 0; ch < nchan; ++ch) {
+            fft_n_->inverse_batch(zbuf + ch * chan_stride, 1, un, np, ws);
+            for (std::size_t i = 0; i < planes.size(); ++i) {
+              cplx* dst = staging_plane(ch, i) + p0;
+              const cplx* src =
+                  zbuf + ch * chan_stride + static_cast<std::size_t>(planes[i]);
+              for (std::size_t p = 0; p < np; ++p) dst[p] = src[p * un];
             }
           }
         }
@@ -231,8 +227,8 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
           const std::size_t i = job % planes.size();
           cplx* plane = staging_plane(ch, i);
           // Inverse y (pencils, stride N), then inverse x (rows).
-          fft_n_->inverse_strided(plane, un, 1, un, ws);
-          fft_n_->inverse_strided(plane, 1, un, un, ws);
+          fft_n_->inverse_batch(plane, un, 1, un, ws);
+          fft_n_->inverse_batch(plane, 1, un, un, ws);
           auto payload = results[ch].samples();
           // Store callback: extract this plane's octree lattice samples.
           for (const auto& [ci, iz] :

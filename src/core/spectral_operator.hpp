@@ -8,9 +8,12 @@
 // which is exactly this interface.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <string>
 
+#include "common/simd.hpp"
 #include "green/kernel.hpp"
 
 namespace lc::core {
@@ -30,6 +33,29 @@ class SpectralOperator {
   virtual void apply(const Index3& bin, const Grid3& g,
                      std::span<cplx> values) const = 0;
 
+  /// Apply the operator to a whole z-pencil of bins (x, y, z0 + t) for
+  /// t in [0, n): channel c of bin t lives at values[c * channel_stride + t].
+  /// The default gathers each bin's channels and calls apply(); operators
+  /// backed by a kernel spectrum override it to run one vectorized pass per
+  /// pencil instead of n virtual calls (the slab pipeline's hot loop).
+  virtual void apply_z_pencil(i64 x, i64 y, i64 z0, const Grid3& g,
+                              cplx* values, std::size_t n,
+                              std::size_t channel_stride) const {
+    const std::size_t nc = channels();
+    constexpr std::size_t kMaxStack = 16;
+    LC_CHECK_ARG(nc <= kMaxStack, "too many channels for pencil dispatch");
+    std::array<cplx, kMaxStack> bin{};
+    for (std::size_t t = 0; t < n; ++t) {
+      for (std::size_t c = 0; c < nc; ++c) {
+        bin[c] = values[c * channel_stride + t];
+      }
+      apply({x, y, z0 + static_cast<i64>(t)}, g, std::span(bin.data(), nc));
+      for (std::size_t c = 0; c < nc; ++c) {
+        values[c * channel_stride + t] = bin[c];
+      }
+    }
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -47,6 +73,21 @@ class ScalarKernelOperator final : public SpectralOperator {
   void apply(const Index3& bin, const Grid3& g,
              std::span<cplx> values) const override {
     values[0] *= kernel_->eval(bin, g);
+  }
+
+  void apply_z_pencil(i64 x, i64 y, i64 z0, const Grid3& g, cplx* values,
+                      std::size_t n,
+                      std::size_t /*channel_stride*/) const override {
+    // Chunked so the kernel run stays in a stack buffer; the multiply is
+    // the SIMD complex pointwise pass shared with fft::pointwise_multiply.
+    constexpr std::size_t kChunk = 256;
+    std::array<cplx, kChunk> run;
+    for (std::size_t t0 = 0; t0 < n; t0 += kChunk) {
+      const std::size_t len = std::min(kChunk, n - t0);
+      kernel_->eval_z_run({x, y, z0 + static_cast<i64>(t0)}, g,
+                          std::span(run.data(), len));
+      simd::complex_mul_inplace(values + t0, run.data(), len);
+    }
   }
 
   [[nodiscard]] std::string name() const override { return kernel_->name(); }

@@ -1,6 +1,7 @@
 #include "fft/convolution.hpp"
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace lc::fft {
 
@@ -8,7 +9,7 @@ void pointwise_multiply(ComplexField& a, const ComplexField& b) {
   LC_CHECK_ARG(a.grid() == b.grid(), "spectrum grids differ");
   auto pa = a.span();
   const auto pb = b.span();
-  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] *= pb[i];
+  simd::complex_mul_inplace(pa.data(), pb.data(), pa.size());
 }
 
 RealField fft_circular_convolve(const RealField& a, const RealField& b,

@@ -1,27 +1,13 @@
 #include "fft/fft1d.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numbers>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace lc::fft {
-
-namespace {
-
-std::span<cplx> ensure(AlignedVector<cplx>& v, std::size_t n) {
-  if (v.size() < n) v.resize(n);
-  return {v.data(), n};
-}
-
-}  // namespace
-
-std::span<cplx> FftWorkspace::buffer_a(std::size_t n) { return ensure(a_, n); }
-std::span<cplx> FftWorkspace::buffer_b(std::size_t n) { return ensure(b_, n); }
-std::span<cplx> FftWorkspace::buffer_c(std::size_t n) { return ensure(c_, n); }
-std::span<cplx> FftWorkspace::bluestein_buffer(std::size_t n) {
-  return ensure(blue_, n);
-}
 
 std::size_t next_pow2(std::size_t n) noexcept {
   std::size_t p = 1;
@@ -33,7 +19,7 @@ std::size_t next_pow2(std::size_t n) noexcept {
 /// convolution, m = next_pow2(2n - 1).
 struct Fft1D::Bluestein {
   std::size_t m = 0;
-  Fft1D fft_m;                    // radix-2 plan of length m
+  Fft1D fft_m;                    // radix plan of length m
   AlignedVector<cplx> chirp;      // w_j = e^{-iπ j²/n}, j in [0, n)
   AlignedVector<cplx> kernel_hat; // FFT_m of the chirp-conjugate kernel
 
@@ -61,7 +47,10 @@ struct Fft1D::Bluestein {
 Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
   LC_CHECK_ARG(n >= 1, "FFT length must be >= 1");
   if (pow2_) {
-    // Bit-reversal permutation.
+    LC_CHECK_ARG(n <= (std::size_t{1} << 31), "FFT length too large");
+    // Bit-reversal permutation plus the swap-pair list that replaces the
+    // per-call i < bitrev(i) scan (the permutation is an involution, so the
+    // pairs with i < j cover it exactly once).
     bitrev_.resize(n);
     std::size_t bits = 0;
     while ((std::size_t{1} << bits) < n) ++bits;
@@ -70,7 +59,11 @@ Fft1D::Fft1D(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
       for (std::size_t b = 0; b < bits; ++b) {
         r |= ((i >> b) & 1u) << (bits - 1 - b);
       }
-      bitrev_[i] = r;
+      bitrev_[i] = static_cast<std::uint32_t>(r);
+      if (i < r) {
+        swap_pairs_.emplace_back(static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(r));
+      }
     }
     twiddle_.resize(std::max<std::size_t>(n / 2, 1));
     const double w0 = -2.0 * std::numbers::pi / static_cast<double>(n);
@@ -86,28 +79,124 @@ Fft1D::~Fft1D() = default;
 Fft1D::Fft1D(Fft1D&&) noexcept = default;
 Fft1D& Fft1D::operator=(Fft1D&&) noexcept = default;
 
-void Fft1D::radix2(std::span<cplx> data, bool inv) const {
-  const std::size_t n = n_;
-  // Bit-reverse reorder.
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = bitrev_[i];
-    if (i < j) std::swap(data[i], data[j]);
+namespace {
+
+/// Scalar butterfly passes over data already in bit-reversed (DIT) order.
+///
+/// Two consecutive radix-2 stages (lengths 2h and 4h) are fused into one
+/// radix-4 pass: each element is loaded and stored once per pass instead of
+/// twice, halving memory traffic. The stage-2 twiddle at offset j + h is
+/// W((j+h)·n/4h) = ∓i · W(j·n/4h), so only two table twiddles are read per
+/// butterfly and the third is derived by a re/im swap. When log2 n is odd a
+/// twiddle-free radix-2 head pass runs first.
+///
+/// NC != 0 pins the length at compile time: every loop bound becomes a
+/// constant and the compiler fully unrolls the pass structure — these
+/// instantiations are the "codelets" used for n <= 32.
+template <bool Inv, std::size_t NC>
+void scalar_passes(cplx* d, std::size_t n_rt, const cplx* tw) {
+  const std::size_t n = NC != 0 ? NC : n_rt;
+  std::size_t h = 1;
+  if (std::countr_zero(n) & 1u) {
+    for (std::size_t i = 0; i < n; i += 2) {
+      const cplx u = d[i];
+      const cplx t = d[i + 1];
+      d[i] = u + t;
+      d[i + 1] = u - t;
+    }
+    h = 2;
   }
-  // Iterative butterflies. For stage length `len`, the twiddle for butterfly
-  // j is twiddle_[j * (n / len)] (conjugated for the inverse).
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t step = n / len;
-    for (std::size_t blk = 0; blk < n; blk += len) {
-      for (std::size_t j = 0; j < half; ++j) {
-        cplx w = twiddle_[j * step];
-        if (inv) w = std::conj(w);
-        const cplx u = data[blk + j];
-        const cplx t = data[blk + j + half] * w;
-        data[blk + j] = u + t;
-        data[blk + j + half] = u - t;
+  for (; 4 * h <= n; h *= 4) {
+    const std::size_t step2 = n / (4 * h);  // twiddle step of the 4h stage
+    for (std::size_t blk = 0; blk < n; blk += 4 * h) {
+      for (std::size_t j = 0; j < h; ++j) {
+        cplx w2 = tw[j * step2];
+        cplx w1 = tw[2 * j * step2];
+        if (Inv) {
+          w1 = std::conj(w1);
+          w2 = std::conj(w2);
+        }
+        const cplx w3 = Inv ? cplx{-w2.imag(), w2.real()}   // +i · w2
+                            : cplx{w2.imag(), -w2.real()};  // -i · w2
+        cplx* p = d + blk + j;
+        const cplx a = p[0];
+        const cplx b = p[h];
+        const cplx c = p[2 * h];
+        const cplx e = p[3 * h];
+        const cplx t0 = b * w1;
+        const cplx t1 = e * w1;
+        const cplx a1 = a + t0;
+        const cplx b1 = a - t0;
+        const cplx c1 = c + t1;
+        const cplx e1 = c - t1;
+        const cplx t2 = c1 * w2;
+        const cplx t3 = e1 * w3;
+        p[0] = a1 + t2;
+        p[2 * h] = a1 - t2;
+        p[h] = b1 + t3;
+        p[3 * h] = b1 - t3;
       }
     }
+  }
+}
+
+template <bool Inv>
+void scalar_dispatch(cplx* d, std::size_t n, const cplx* tw) {
+  switch (n) {
+    case 2: scalar_passes<Inv, 2>(d, n, tw); break;
+    case 4: scalar_passes<Inv, 4>(d, n, tw); break;
+    case 8: scalar_passes<Inv, 8>(d, n, tw); break;
+    case 16: scalar_passes<Inv, 16>(d, n, tw); break;
+    case 32: scalar_passes<Inv, 32>(d, n, tw); break;
+    default: scalar_passes<Inv, 0>(d, n, tw); break;
+  }
+}
+
+constexpr std::size_t kB = Fft1D::kBatchTile;
+
+/// Swap two SoA tile rows (kBatchTile doubles each) in both planes.
+inline void swap_tile_rows(double* re, double* im, std::size_t i,
+                           std::size_t j) noexcept {
+  using namespace simd;
+  double* a = re + i * kB;
+  double* b = re + j * kB;
+  double* c = im + i * kB;
+  double* e = im + j * kB;
+  for (std::size_t l = 0; l < kB; l += kLanes) {
+    const Vd va = load(a + l), vb = load(b + l);
+    store(a + l, vb);
+    store(b + l, va);
+    const Vd vc = load(c + l), ve = load(e + l);
+    store(c + l, ve);
+    store(e + l, vc);
+  }
+}
+
+/// Multiply tile row i by the broadcast complex w in place.
+inline void scale_tile_row(double* re, double* im, std::size_t i, double wr,
+                           double wi) noexcept {
+  using namespace simd;
+  double* rr = re + i * kB;
+  double* ri = im + i * kB;
+  const Vd vwr = broadcast(wr);
+  const Vd vwi = broadcast(wi);
+  for (std::size_t l = 0; l < kB; l += kLanes) {
+    const Vd xr = load(rr + l);
+    const Vd xi = load(ri + l);
+    store(rr + l, fmsub(xr, vwr, mul(xi, vwi)));
+    store(ri + l, fmadd(xr, vwi, mul(xi, vwr)));
+  }
+}
+
+}  // namespace
+
+void Fft1D::radix_dit(std::span<cplx> data, bool inv) const {
+  cplx* d = data.data();
+  for (const auto& [i, j] : swap_pairs_) std::swap(d[i], d[j]);
+  if (inv) {
+    scalar_dispatch<true>(d, n_, twiddle_.data());
+  } else {
+    scalar_dispatch<false>(d, n_, twiddle_.data());
   }
 }
 
@@ -117,7 +206,7 @@ void Fft1D::execute(std::span<cplx> inout, bool inv, FftWorkspace& ws) const {
     return;  // identity
   }
   if (pow2_) {
-    radix2(inout, inv);
+    radix_dit(inout, inv);
   } else {
     // Bluestein. The inverse is computed as conj(forward(conj(x)))/n, which
     // reuses the single precomputed forward chirp kernel.
@@ -129,9 +218,9 @@ void Fft1D::execute(std::span<cplx> inout, bool inv, FftWorkspace& ws) const {
       for (std::size_t j = 0; j < n_; ++j) a[j] = inout[j] * bl.chirp[j];
     }
     std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(), cplx{0.0, 0.0});
-    bl.fft_m.radix2(a, /*inv=*/false);
-    for (std::size_t j = 0; j < bl.m; ++j) a[j] *= bl.kernel_hat[j];
-    bl.fft_m.radix2(a, /*inv=*/true);
+    bl.fft_m.radix_dit(a, /*inv=*/false);
+    simd::complex_mul_inplace(a.data(), bl.kernel_hat.data(), bl.m);
+    bl.fft_m.radix_dit(a, /*inv=*/true);
     const double inv_m = 1.0 / static_cast<double>(bl.m);
     if (inv) {
       const double scale = inv_m / static_cast<double>(n_);
@@ -204,6 +293,285 @@ void Fft1D::inverse_strided(cplx* base, std::size_t elem_stride,
                             FftWorkspace& ws) const {
   run_strided(n_, base, elem_stride, pencil_stride, pencils, ws,
               [&](std::span<cplx> s) { inverse(s, ws); });
+}
+
+// ---------------------------------------------------------------------------
+// Batch-major SoA engine
+// ---------------------------------------------------------------------------
+
+void Fft1D::tile_passes(double* re, double* im, bool inv) const {
+  using namespace simd;
+  const std::size_t n = n_;
+  const cplx* tw = twiddle_.data();
+  const double sgn = inv ? -1.0 : 1.0;  // conjugate twiddles for the inverse
+  std::size_t h = 1;
+  if (std::countr_zero(n) & 1u) {
+    // Twiddle-free radix-2 head pass when the stage count is odd.
+    for (std::size_t i = 0; i < n; i += 2) {
+      double* ar = re + i * kB;
+      double* ai = im + i * kB;
+      double* br = ar + kB;
+      double* bi = ai + kB;
+      for (std::size_t l = 0; l < kB; l += kLanes) {
+        const Vd xr = load(ar + l), xi = load(ai + l);
+        const Vd yr = load(br + l), yi = load(bi + l);
+        store(ar + l, add(xr, yr));
+        store(ai + l, add(xi, yi));
+        store(br + l, sub(xr, yr));
+        store(bi + l, sub(xi, yi));
+      }
+    }
+    h = 2;
+  }
+  // Fused radix-4 passes (same structure as scalar_passes) with SIMD lanes
+  // across the kBatchTile pencils of the tile: twiddles are broadcast, so
+  // the complex butterflies are plain mul/fma on the split planes — no
+  // in-register shuffles.
+  for (; 4 * h <= n; h *= 4) {
+    const std::size_t step2 = n / (4 * h);
+    for (std::size_t blk = 0; blk < n; blk += 4 * h) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const cplx cw2 = tw[j * step2];
+        const cplx cw1 = tw[2 * j * step2];
+        const double w1r = cw1.real(), w1i = sgn * cw1.imag();
+        const double w2r = cw2.real(), w2i = sgn * cw2.imag();
+        const double w3r = inv ? -w2i : w2i;  // w3 = ∓i · w2
+        const double w3i = inv ? w2r : -w2r;
+        const std::size_t r0 = (blk + j) * kB;
+        double* ar = re + r0;
+        double* ai = im + r0;
+        double* br = ar + h * kB;
+        double* bi = ai + h * kB;
+        double* cr = ar + 2 * h * kB;
+        double* ci = ai + 2 * h * kB;
+        double* er = ar + 3 * h * kB;
+        double* ei = ai + 3 * h * kB;
+        const Vd vw1r = broadcast(w1r), vw1i = broadcast(w1i);
+        const Vd vw2r = broadcast(w2r), vw2i = broadcast(w2i);
+        const Vd vw3r = broadcast(w3r), vw3i = broadcast(w3i);
+        for (std::size_t l = 0; l < kB; l += kLanes) {
+          const Vd xbr = load(br + l), xbi = load(bi + l);
+          const Vd xer = load(er + l), xei = load(ei + l);
+          const Vd t0r = fmsub(xbr, vw1r, mul(xbi, vw1i));
+          const Vd t0i = fmadd(xbr, vw1i, mul(xbi, vw1r));
+          const Vd t1r = fmsub(xer, vw1r, mul(xei, vw1i));
+          const Vd t1i = fmadd(xer, vw1i, mul(xei, vw1r));
+          const Vd xar = load(ar + l), xai = load(ai + l);
+          const Vd xcr = load(cr + l), xci = load(ci + l);
+          const Vd a1r = add(xar, t0r), a1i = add(xai, t0i);
+          const Vd b1r = sub(xar, t0r), b1i = sub(xai, t0i);
+          const Vd c1r = add(xcr, t1r), c1i = add(xci, t1i);
+          const Vd e1r = sub(xcr, t1r), e1i = sub(xci, t1i);
+          const Vd t2r = fmsub(c1r, vw2r, mul(c1i, vw2i));
+          const Vd t2i = fmadd(c1r, vw2i, mul(c1i, vw2r));
+          const Vd t3r = fmsub(e1r, vw3r, mul(e1i, vw3i));
+          const Vd t3i = fmadd(e1r, vw3i, mul(e1i, vw3r));
+          store(ar + l, add(a1r, t2r));
+          store(ai + l, add(a1i, t2i));
+          store(cr + l, sub(a1r, t2r));
+          store(ci + l, sub(a1i, t2i));
+          store(br + l, add(b1r, t3r));
+          store(bi + l, add(b1i, t3i));
+          store(er + l, sub(b1r, t3r));
+          store(ei + l, sub(b1i, t3i));
+        }
+      }
+    }
+  }
+}
+
+/// Gather + transform + scatter of one pow2 tile. Input pencil p has k
+/// (possibly pruned) nonzero elements at in[p·ips + t·ies] occupying
+/// logical rows [offset, offset+k); output written to out[p·ops + i·oes].
+/// The bit-reversal permutation is folded into the gather (bitrev is an
+/// involution, so the tile row for logical index s is simply bitrev[s]).
+/// Gather/scatter loop order follows the smaller stride so strided z-pencil
+/// tiles read/write kBatchTile-contiguous cache lines once per element row
+/// instead of walking each pencil separately.
+void Fft1D::batch_pruned_pow2_tile(const cplx* in, std::size_t ies,
+                                   std::size_t ips, std::size_t k,
+                                   std::size_t offset, cplx* out,
+                                   std::size_t oes, std::size_t ops,
+                                   std::size_t tb, bool inv,
+                                   FftWorkspace& ws) const {
+  const std::size_t n = n_;
+  auto re = ws.tile_re(n * kB);
+  auto im = ws.tile_im(n * kB);
+  if (k < n || tb < kB) {
+    std::fill(re.begin(), re.end(), 0.0);
+    std::fill(im.begin(), im.end(), 0.0);
+  }
+  if (ies == 1) {
+    for (std::size_t p = 0; p < tb; ++p) {
+      const cplx* src = in + p * ips;
+      for (std::size_t t = 0; t < k; ++t) {
+        const std::size_t row = bitrev_[offset + t];
+        re[row * kB + p] = src[t].real();
+        im[row * kB + p] = src[t].imag();
+      }
+    }
+  } else {
+    for (std::size_t t = 0; t < k; ++t) {
+      const cplx* src = in + t * ies;
+      const std::size_t row = bitrev_[offset + t];
+      double* rr = &re[row * kB];
+      double* ri = &im[row * kB];
+      for (std::size_t p = 0; p < tb; ++p) {
+        rr[p] = src[p * ips].real();
+        ri[p] = src[p * ips].imag();
+      }
+    }
+  }
+
+  tile_passes(re.data(), im.data(), inv);
+
+  const double scale = inv ? 1.0 / static_cast<double>(n) : 1.0;
+  if (oes == 1) {
+    for (std::size_t p = 0; p < tb; ++p) {
+      cplx* dst = out + p * ops;
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = cplx{re[i * kB + p] * scale, im[i * kB + p] * scale};
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx* dst = out + i * oes;
+      const double* rr = &re[i * kB];
+      const double* ri = &im[i * kB];
+      for (std::size_t p = 0; p < tb; ++p) {
+        dst[p * ops] = cplx{rr[p] * scale, ri[p] * scale};
+      }
+    }
+  }
+}
+
+/// Batched Bluestein tile: the chirp pre-multiply is fused into the gather
+/// (rows outside the nonzero window [offset, offset+k) are zeroed, never
+/// read), both m-length transforms run through tile_passes, and the chirp
+/// post-multiply + normalisation is fused into the scatter.
+void Fft1D::batch_pruned_bluestein_tile(const cplx* in, std::size_t ies,
+                                        std::size_t ips, std::size_t k,
+                                        std::size_t offset, cplx* out,
+                                        std::size_t oes, std::size_t ops,
+                                        std::size_t tb, bool inv,
+                                        FftWorkspace& ws) const {
+  const Bluestein& bl = *blue_;
+  const Fft1D& fm = bl.fft_m;
+  const std::size_t m = bl.m;
+  auto re = ws.tile_re(m * kB);
+  auto im = ws.tile_im(m * kB);
+
+  // Gather in fft_m bit-reversed row order, multiplied by the chirp.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t src = fm.bitrev_[i];
+    double* rr = &re[i * kB];
+    double* ri = &im[i * kB];
+    if (src >= offset && src < offset + k) {
+      const cplx ch = bl.chirp[src];
+      const cplx* s = in + (src - offset) * ies;
+      for (std::size_t p = 0; p < tb; ++p) {
+        cplx x = s[p * ips];
+        if (inv) x = std::conj(x);
+        x *= ch;
+        rr[p] = x.real();
+        ri[p] = x.imag();
+      }
+      for (std::size_t p = tb; p < kB; ++p) rr[p] = ri[p] = 0.0;
+    } else {
+      for (std::size_t p = 0; p < kB; ++p) rr[p] = ri[p] = 0.0;
+    }
+  }
+
+  fm.tile_passes(re.data(), im.data(), /*inv=*/false);
+  for (std::size_t i = 0; i < m; ++i) {
+    scale_tile_row(re.data(), im.data(), i, bl.kernel_hat[i].real(),
+                   bl.kernel_hat[i].imag());
+  }
+  // The second transform needs bit-reversed input again.
+  for (const auto& [i, j] : fm.swap_pairs_) {
+    swap_tile_rows(re.data(), im.data(), i, j);
+  }
+  fm.tile_passes(re.data(), im.data(), /*inv=*/true);
+
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double scale =
+      inv ? inv_m / static_cast<double>(n_) : inv_m;
+  auto emit = [&](std::size_t j, std::size_t p) {
+    const cplx chs = bl.chirp[j] * scale;
+    const cplx a{re[j * kB + p], im[j * kB + p]};
+    const cplx o = a * chs;
+    return inv ? std::conj(o) : o;
+  };
+  if (oes == 1) {
+    for (std::size_t p = 0; p < tb; ++p) {
+      cplx* dst = out + p * ops;
+      for (std::size_t j = 0; j < n_; ++j) dst[j] = emit(j, p);
+    }
+  } else {
+    for (std::size_t j = 0; j < n_; ++j) {
+      cplx* dst = out + j * oes;
+      for (std::size_t p = 0; p < tb; ++p) dst[p * ops] = emit(j, p);
+    }
+  }
+}
+
+void Fft1D::execute_batch(cplx* base, std::size_t elem_stride,
+                          std::size_t pencil_stride, std::size_t pencils,
+                          bool inv, FftWorkspace& ws) const {
+  if (n_ == 1) return;  // identity (1/n scale is also 1)
+  for (std::size_t p0 = 0; p0 < pencils; p0 += kB) {
+    const std::size_t tb = std::min(kB, pencils - p0);
+    cplx* tile = base + p0 * pencil_stride;
+    if (pow2_) {
+      batch_pruned_pow2_tile(tile, elem_stride, pencil_stride, n_, 0, tile,
+                             elem_stride, pencil_stride, tb, inv, ws);
+    } else {
+      batch_pruned_bluestein_tile(tile, elem_stride, pencil_stride, n_, 0,
+                                  tile, elem_stride, pencil_stride, tb, inv,
+                                  ws);
+    }
+  }
+}
+
+void Fft1D::forward_batch(cplx* base, std::size_t elem_stride,
+                          std::size_t pencil_stride, std::size_t pencils,
+                          FftWorkspace& ws) const {
+  execute_batch(base, elem_stride, pencil_stride, pencils, /*inv=*/false, ws);
+}
+
+void Fft1D::inverse_batch(cplx* base, std::size_t elem_stride,
+                          std::size_t pencil_stride, std::size_t pencils,
+                          FftWorkspace& ws) const {
+  execute_batch(base, elem_stride, pencil_stride, pencils, /*inv=*/true, ws);
+}
+
+void Fft1D::forward_batch_pruned(const cplx* in, std::size_t in_elem_stride,
+                                 std::size_t in_pencil_stride, std::size_t k,
+                                 std::size_t offset, cplx* out,
+                                 std::size_t out_pencil_stride,
+                                 std::size_t pencils, FftWorkspace& ws) const {
+  LC_CHECK_ARG(offset + k <= n_, "nonzero block exceeds length");
+  if (n_ == 1) {
+    for (std::size_t p = 0; p < pencils; ++p) {
+      out[p * out_pencil_stride] =
+          k == 1 ? in[p * in_pencil_stride] : cplx{0.0, 0.0};
+    }
+    return;
+  }
+  for (std::size_t p0 = 0; p0 < pencils; p0 += kB) {
+    const std::size_t tb = std::min(kB, pencils - p0);
+    const cplx* tin = in + p0 * in_pencil_stride;
+    cplx* tout = out + p0 * out_pencil_stride;
+    if (pow2_) {
+      batch_pruned_pow2_tile(tin, in_elem_stride, in_pencil_stride, k, offset,
+                             tout, 1, out_pencil_stride, tb, /*inv=*/false,
+                             ws);
+    } else {
+      batch_pruned_bluestein_tile(tin, in_elem_stride, in_pencil_stride, k,
+                                  offset, tout, 1, out_pencil_stride, tb,
+                                  /*inv=*/false, ws);
+    }
+  }
 }
 
 }  // namespace lc::fft

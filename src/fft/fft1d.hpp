@@ -1,17 +1,31 @@
 // 1D complex-to-complex FFT plans.
 //
-// Power-of-two lengths use an iterative in-place radix-2 Cooley-Tukey with a
-// precomputed twiddle table and bit-reversal permutation. Arbitrary lengths
-// use Bluestein's chirp-z algorithm on top of the radix-2 path.
+// Power-of-two lengths use an iterative in-place Cooley-Tukey with a
+// precomputed twiddle table: fused radix-4 passes (radix-2 head stage when
+// log2 n is odd), fully unrolled codelets for n <= 32, and a precomputed
+// swap-pair list instead of a per-call bit-reversal scan. Arbitrary lengths
+// use Bluestein's chirp-z algorithm on top of the radix path.
+//
+// Besides the classic one-pencil-at-a-time entry points, the plan exposes a
+// batch-major execution path (`forward_batch` / `inverse_batch`): up to
+// kBatchTile strided pencils are transposed into an SoA tile (separate
+// real/imaginary planes, kBatchTile doubles per element row), the butterfly
+// passes run with SIMD lanes across *pencils* (see common/simd.hpp), and
+// results are scattered back. This maps onto the paper's batching parameter
+// B and needs no shuffles inside the butterflies. The batched Bluestein
+// path reuses the same tile kernel at the chirp length m.
 //
 // Plans are immutable after construction and safe to share across threads;
 // all mutable scratch lives in a caller-provided FftWorkspace (one per
-// thread), so parallel pencil loops never contend or allocate.
+// thread), so parallel pencil loops never contend or allocate in steady
+// state.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -21,28 +35,48 @@ namespace lc::fft {
 
 using cplx = std::complex<double>;
 
-/// Per-thread scratch buffers for FFT execution. Grows on demand, never
-/// shrinks; reuse one instance across many transforms.
+/// Per-thread scratch buffers for FFT execution. Grows on demand
+/// (geometric, uninitialized — see AlignedScratch), never shrinks; reuse
+/// one instance across many transforms.
 class FftWorkspace {
  public:
   /// Scratch span of at least n elements (contents unspecified). Buffers
   /// a/b/c are for callers; `bluestein_buffer` is reserved for Fft1D's
   /// internal chirp-z path so caller scratch never aliases it.
-  [[nodiscard]] std::span<cplx> buffer_a(std::size_t n);
-  [[nodiscard]] std::span<cplx> buffer_b(std::size_t n);
-  [[nodiscard]] std::span<cplx> buffer_c(std::size_t n);
-  [[nodiscard]] std::span<cplx> bluestein_buffer(std::size_t n);
+  [[nodiscard]] std::span<cplx> buffer_a(std::size_t n) { return a_.ensure(n); }
+  [[nodiscard]] std::span<cplx> buffer_b(std::size_t n) { return b_.ensure(n); }
+  [[nodiscard]] std::span<cplx> buffer_c(std::size_t n) { return c_.ensure(n); }
+  [[nodiscard]] std::span<cplx> bluestein_buffer(std::size_t n) {
+    return blue_.ensure(n);
+  }
+
+  /// SoA tile planes for the batch-major path (reserved for Fft1D):
+  /// n doubles each of real / imaginary lanes.
+  [[nodiscard]] std::span<double> tile_re(std::size_t n) {
+    return tile_re_.ensure(n);
+  }
+  [[nodiscard]] std::span<double> tile_im(std::size_t n) {
+    return tile_im_.ensure(n);
+  }
 
  private:
-  AlignedVector<cplx> a_;
-  AlignedVector<cplx> b_;
-  AlignedVector<cplx> c_;
-  AlignedVector<cplx> blue_;
+  AlignedScratch<cplx> a_;
+  AlignedScratch<cplx> b_;
+  AlignedScratch<cplx> c_;
+  AlignedScratch<cplx> blue_;
+  AlignedScratch<double> tile_re_;
+  AlignedScratch<double> tile_im_;
 };
 
 /// Immutable 1D FFT plan of fixed length n >= 1 (any n).
 class Fft1D {
  public:
+  /// Pencils per SoA tile of the batch path (lanes of the batched
+  /// butterflies). A tile holds 2 * n * kBatchTile doubles, sized so that
+  /// tiles for the pencil lengths the paper uses (n <= 512) stay L1/L2
+  /// resident; see DESIGN.md §11.
+  static constexpr std::size_t kBatchTile = 8;
+
   explicit Fft1D(std::size_t n);
   ~Fft1D();
   Fft1D(Fft1D&&) noexcept;
@@ -59,14 +93,16 @@ class Fft1D {
   void inverse(std::span<cplx> inout, FftWorkspace& ws) const;
 
   /// Convenience overloads with a local workspace (allocates; avoid in hot
-  /// loops).
+  /// loops — in-tree hot paths must pass a shared FftWorkspace).
   void forward(std::span<cplx> inout) const;
   void inverse(std::span<cplx> inout) const;
 
-  /// Batched strided execution: pencil p element i lives at
-  /// base[p * pencil_stride + i * elem_stride]. Each pencil is gathered into
-  /// contiguous scratch, transformed, and scattered back. Contiguous pencils
-  /// (elem_stride == 1) are transformed in place without copying.
+  /// Batched strided execution, one pencil at a time (scalar butterflies):
+  /// pencil p element i lives at base[p * pencil_stride + i * elem_stride].
+  /// Each pencil is gathered into contiguous scratch, transformed, and
+  /// scattered back. Contiguous pencils (elem_stride == 1) are transformed
+  /// in place without copying. Prefer forward_batch/inverse_batch in hot
+  /// loops — kept as the scalar reference path (and for benchmarks).
   void forward_strided(cplx* base, std::size_t elem_stride,
                        std::size_t pencil_stride, std::size_t pencils,
                        FftWorkspace& ws) const;
@@ -74,15 +110,58 @@ class Fft1D {
                        std::size_t pencil_stride, std::size_t pencils,
                        FftWorkspace& ws) const;
 
+  /// Batch-major execution: same addressing as forward_strided, but pencils
+  /// are processed kBatchTile at a time through an SoA tile with SIMD lanes
+  /// running across pencils. Handles any n (pow2 radix passes, else batched
+  /// Bluestein), any strides, and partial final tiles.
+  void forward_batch(cplx* base, std::size_t elem_stride,
+                     std::size_t pencil_stride, std::size_t pencils,
+                     FftWorkspace& ws) const;
+  void inverse_batch(cplx* base, std::size_t elem_stride,
+                     std::size_t pencil_stride, std::size_t pencils,
+                     FftWorkspace& ws) const;
+
+  /// Batched input-pruned forward (out-of-place): pencil p has k nonzero
+  /// inputs at in[p * in_pencil_stride + t * in_elem_stride], t in [0, k),
+  /// occupying logical indices [offset, offset + k) of an n-point signal
+  /// whose remaining entries are zero. Writes the full n-length spectrum of
+  /// pencil p to out[p * out_pencil_stride + 0..n). The zero rows are never
+  /// gathered, so the cost is the transform plus a k-row gather.
+  void forward_batch_pruned(const cplx* in, std::size_t in_elem_stride,
+                            std::size_t in_pencil_stride, std::size_t k,
+                            std::size_t offset, cplx* out,
+                            std::size_t out_pencil_stride, std::size_t pencils,
+                            FftWorkspace& ws) const;
+
  private:
   struct Bluestein;
 
   void execute(std::span<cplx> inout, bool inv, FftWorkspace& ws) const;
-  void radix2(std::span<cplx> data, bool inv) const;
+  void radix_dit(std::span<cplx> data, bool inv) const;
+
+  // Batch-major internals. `tile_passes` runs the butterfly passes over one
+  // SoA tile whose rows are already in bit-reversed order; gather/scatter
+  // helpers fold the permutation into the transpose.
+  void execute_batch(cplx* base, std::size_t elem_stride,
+                     std::size_t pencil_stride, std::size_t pencils, bool inv,
+                     FftWorkspace& ws) const;
+  void tile_passes(double* re, double* im, bool inv) const;
+  void batch_pruned_pow2_tile(const cplx* in, std::size_t ies, std::size_t ips,
+                              std::size_t k, std::size_t offset, cplx* out,
+                              std::size_t oes, std::size_t ops, std::size_t tb,
+                              bool inv, FftWorkspace& ws) const;
+  void batch_pruned_bluestein_tile(const cplx* in, std::size_t ies,
+                                   std::size_t ips, std::size_t k,
+                                   std::size_t offset, cplx* out,
+                                   std::size_t oes, std::size_t ops,
+                                   std::size_t tb, bool inv,
+                                   FftWorkspace& ws) const;
 
   std::size_t n_ = 0;
   bool pow2_ = false;
-  std::vector<std::size_t> bitrev_;   // bit-reversal permutation (pow2 only)
+  std::vector<std::uint32_t> bitrev_;  // bit-reversal permutation (pow2 only)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>>
+      swap_pairs_;                    // i < bitrev(i) pairs, scan-free reorder
   AlignedVector<cplx> twiddle_;       // e^{-2πi j/n}, j in [0, n/2) (pow2 only)
   std::unique_ptr<Bluestein> blue_;   // non-pow2 path
 };

@@ -51,9 +51,9 @@ void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
         cplx* p = base + lo * nx;
         const std::size_t n = hi - lo;
         if (inv) {
-          fx.inverse_strided(p, 1, nx, n, ws);
+          fx.inverse_batch(p, 1, nx, n, ws);
         } else {
-          fx.forward_strided(p, 1, nx, n, ws);
+          fx.forward_batch(p, 1, nx, n, ws);
         }
       });
       break;
@@ -64,9 +64,9 @@ void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
         for (std::size_t z = lo; z < hi; ++z) {
           cplx* p = base + z * nx * ny;
           if (inv) {
-            fy.inverse_strided(p, nx, 1, nx, ws);
+            fy.inverse_batch(p, nx, 1, nx, ws);
           } else {
-            fy.forward_strided(p, nx, 1, nx, ws);
+            fy.forward_batch(p, nx, 1, nx, ws);
           }
         }
       });
@@ -78,9 +78,9 @@ void Fft3D::sweep(ComplexField& f, int axis, bool inv) const {
       run_blocks(plane, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
         cplx* p = base + lo;
         if (inv) {
-          fz.inverse_strided(p, plane, 1, hi - lo, ws);
+          fz.inverse_batch(p, plane, 1, hi - lo, ws);
         } else {
-          fz.forward_strided(p, plane, 1, hi - lo, ws);
+          fz.forward_batch(p, plane, 1, hi - lo, ws);
         }
       });
       break;

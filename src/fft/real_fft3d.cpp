@@ -44,21 +44,21 @@ void RealFft3D::sweep_yz(ComplexField& s, bool inv) const {
     // y pencils (stride hx) per z-slab, then z pencils (stride hx·ny).
     run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
       for (std::size_t z = lo; z < hi; ++z) {
-        fy.forward_strided(base + z * hx * ny, hx, 1, hx, ws);
+        fy.forward_batch(base + z * hx * ny, hx, 1, hx, ws);
       }
     });
     run_blocks(pool_, hx * ny,
                [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
-                 fz.forward_strided(base + lo, hx * ny, 1, hi - lo, ws);
+                 fz.forward_batch(base + lo, hx * ny, 1, hi - lo, ws);
                });
   } else {
     run_blocks(pool_, hx * ny,
                [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
-                 fz.inverse_strided(base + lo, hx * ny, 1, hi - lo, ws);
+                 fz.inverse_batch(base + lo, hx * ny, 1, hi - lo, ws);
                });
     run_blocks(pool_, nz, [&](std::size_t lo, std::size_t hi, FftWorkspace& ws) {
       for (std::size_t z = lo; z < hi; ++z) {
-        fy.inverse_strided(base + z * hx * ny, hx, 1, hx, ws);
+        fy.inverse_batch(base + z * hx * ny, hx, 1, hx, ws);
       }
     });
   }

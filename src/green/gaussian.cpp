@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "common/check.hpp"
 #include "fft/dft_direct.hpp"
@@ -33,13 +34,15 @@ std::vector<double> axis_gaussian(i64 n, double sigma) {
 
 /// Real 1D DFT of the origin-centred axis Gaussian. The signal is even
 /// (g_j = g_{n-j}), so the spectrum is real; we compute it numerically and
-/// keep the real part (the imaginary part is zero to rounding).
-std::vector<double> axis_spectrum(i64 n, double sigma) {
+/// keep the real part (the imaginary part is zero to rounding). Plan and
+/// workspace are supplied by the caller so the three axis spectra of one
+/// kernel share them instead of allocating per call.
+std::vector<double> axis_spectrum(i64 n, double sigma, const fft::Fft1D& plan,
+                                  fft::FftWorkspace& ws) {
   const auto g = axis_gaussian(n, sigma);
   std::vector<cplx> buf(g.size());
   for (std::size_t j = 0; j < g.size(); ++j) buf[j] = cplx{g[j], 0.0};
-  fft::Fft1D plan(g.size());
-  plan.forward(buf);
+  plan.forward(buf, ws);
   std::vector<double> spec(g.size());
   for (std::size_t k = 0; k < g.size(); ++k) spec[k] = buf[k].real();
   return spec;
@@ -66,12 +69,29 @@ RealField gaussian_kernel_field(const Grid3& g, double sigma) {
 }
 
 GaussianSpectrum::GaussianSpectrum(const Grid3& g, double sigma)
-    : grid_(g),
-      sigma_(sigma),
-      axis_x_(axis_spectrum(g.nx, sigma)),
-      axis_y_(axis_spectrum(g.ny, sigma)),
-      axis_z_(axis_spectrum(g.nz, sigma)) {
+    : grid_(g), sigma_(sigma) {
   LC_CHECK_ARG(sigma > 0.0, "sigma must be positive");
+  // One workspace serves all three axis transforms, and equal-sized axes
+  // reuse the same plan (cubic grids pay for one plan, not three).
+  fft::FftWorkspace ws;
+  std::map<i64, fft::Fft1D> plans;
+  const auto plan_for = [&](i64 n) -> const fft::Fft1D& {
+    return plans.try_emplace(n, static_cast<std::size_t>(n)).first->second;
+  };
+  axis_x_ = axis_spectrum(g.nx, sigma, plan_for(g.nx), ws);
+  axis_y_ = axis_spectrum(g.ny, sigma, plan_for(g.ny), ws);
+  axis_z_ = axis_spectrum(g.nz, sigma, plan_for(g.nz), ws);
+}
+
+void GaussianSpectrum::eval_z_run(const Index3& start, const Grid3& g,
+                                  std::span<cplx> out) const {
+  LC_CHECK_ARG(g == grid_, "Gaussian spectrum grid mismatch");
+  const double xy = axis_x_[static_cast<std::size_t>(start.x)] *
+                    axis_y_[static_cast<std::size_t>(start.y)];
+  const auto* az = axis_z_.data() + static_cast<std::size_t>(start.z);
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    out[t] = cplx{xy * az[t], 0.0};
+  }
 }
 
 std::string GaussianSpectrum::cache_key() const {

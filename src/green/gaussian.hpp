@@ -31,6 +31,8 @@ class GaussianSpectrum final : public KernelSpectrum {
   GaussianSpectrum(const Grid3& g, double sigma);
 
   [[nodiscard]] cplx eval(const Index3& bin, const Grid3& g) const override;
+  void eval_z_run(const Index3& start, const Grid3& g,
+                  std::span<cplx> out) const override;
   [[nodiscard]] std::string name() const override { return "gaussian"; }
   [[nodiscard]] std::string cache_key() const override;
 

@@ -18,4 +18,12 @@ cplx DenseSpectrum::eval(const Index3& bin, const Grid3& g) const {
   return hat_(bin);
 }
 
+void DenseSpectrum::eval_z_run(const Index3& start, const Grid3& g,
+                               std::span<cplx> out) const {
+  LC_CHECK_ARG(hat_.grid() == g, "dense spectrum grid mismatch");
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    out[t] = hat_({start.x, start.y, start.z + static_cast<i64>(t)});
+  }
+}
+
 }  // namespace lc::green

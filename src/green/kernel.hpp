@@ -9,6 +9,7 @@
 
 #include <complex>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "fft/fft3d.hpp"
@@ -25,6 +26,18 @@ class KernelSpectrum {
 
   /// Spectrum value at DFT bin (jx, jy, jz) of grid `g`.
   [[nodiscard]] virtual cplx eval(const Index3& bin, const Grid3& g) const = 0;
+
+  /// Fill out[t] = eval({start.x, start.y, start.z + t}, g) for a run of
+  /// bins along z. The default loops eval(); kernels whose spectrum is a
+  /// table lookup or factorises per axis (Gaussian, dense) override it so
+  /// the slab pipeline's per-bin multiply becomes one vectorized pass per
+  /// pencil instead of nz virtual calls.
+  virtual void eval_z_run(const Index3& start, const Grid3& g,
+                          std::span<cplx> out) const {
+    for (std::size_t t = 0; t < out.size(); ++t) {
+      out[t] = eval({start.x, start.y, start.z + static_cast<i64>(t)}, g);
+    }
+  }
 
   /// Human-readable kernel name (for bench output).
   [[nodiscard]] virtual std::string name() const = 0;
@@ -46,6 +59,8 @@ class DenseSpectrum final : public KernelSpectrum {
   explicit DenseSpectrum(ComplexField spectrum, std::string name = "dense");
 
   [[nodiscard]] cplx eval(const Index3& bin, const Grid3& g) const override;
+  void eval_z_run(const Index3& start, const Grid3& g,
+                  std::span<cplx> out) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] const ComplexField& spectrum() const noexcept { return hat_; }

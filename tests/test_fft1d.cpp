@@ -315,8 +315,15 @@ TEST(Pruned, OutputPrunedBothStrategiesMatchFullInverse) {
 }
 
 TEST(Pruned, AutoStrategyPicksDirectForTinySubsets) {
-  EXPECT_TRUE(direct_prune_profitable(1024, 4));
+  // Pow2 lengths: the batched radix path makes the full inverse cheaper
+  // than even a single direct output (measured, see direct_prune_profitable).
+  EXPECT_FALSE(direct_prune_profitable(1024, 1));
+  EXPECT_FALSE(direct_prune_profitable(1024, 4));
   EXPECT_FALSE(direct_prune_profitable(1024, 512));
+  // Bluestein lengths pay ~4x per transform; 1-2 outputs still go direct.
+  EXPECT_TRUE(direct_prune_profitable(1000, 1));
+  EXPECT_TRUE(direct_prune_profitable(1000, 2));
+  EXPECT_FALSE(direct_prune_profitable(1000, 4));
   EXPECT_FALSE(direct_prune_profitable(1, 0));
 }
 

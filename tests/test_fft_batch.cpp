@@ -1,0 +1,233 @@
+// Cross-validation of the batch-major SoA FFT path (Fft1D::forward_batch /
+// inverse_batch / forward_batch_pruned) against the direct DFT oracle and
+// the scalar strided path: odd strides, non-pow2 (Bluestein) lengths, batch
+// sizes around the tile width (1, B-1, B, B+1) and partial final tiles.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "fft/dft_direct.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/pruned.hpp"
+
+namespace lc::fft {
+namespace {
+
+constexpr std::size_t kTile = Fft1D::kBatchTile;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return v;
+}
+
+double max_err(std::span<const cplx> a, std::span<const cplx> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Strided pencil layout descriptor: element i of pencil p lives at
+/// buf[p * pencil_stride + i * elem_stride].
+struct Layout {
+  std::size_t elem_stride;
+  std::size_t pencil_stride;
+};
+
+/// Layouts covering the sweep axes the 3D pipeline actually uses, plus odd
+/// strides: contiguous rows, interleaved pencils (the z-pencil pattern),
+/// and deliberately odd element/pencil strides.
+std::vector<Layout> layouts_for(std::size_t n, std::size_t pencils) {
+  return {
+      {1, n},            // contiguous rows (x sweep)
+      {pencils, 1},      // fully interleaved (z-pencil pattern)
+      {3, 3 * n + 7},    // odd element stride, odd pencil stride
+      {2 * pencils + 1, 1},  // odd interleave
+  };
+}
+
+std::size_t layout_extent(const Layout& lay, std::size_t n,
+                          std::size_t pencils) {
+  return (pencils - 1) * lay.pencil_stride + (n - 1) * lay.elem_stride + 1;
+}
+
+class BatchLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchLengths, ForwardMatchesDirectDftAcrossLayoutsAndBatchSizes) {
+  const std::size_t n = GetParam();
+  Fft1D plan(n);
+  FftWorkspace ws;
+  for (std::size_t pencils :
+       {std::size_t{1}, kTile - 1, kTile, kTile + 1, 2 * kTile + 3}) {
+    for (const Layout& lay : layouts_for(n, pencils)) {
+      const std::size_t extent = layout_extent(lay, n, pencils);
+      std::vector<cplx> buf(extent, cplx{42.0, -42.0});  // canary fill
+      std::vector<std::vector<cplx>> want(pencils);
+      for (std::size_t p = 0; p < pencils; ++p) {
+        const auto x = random_signal(n, 1000 * n + 10 * p);
+        want[p].resize(n);
+        dft_direct_forward(x, want[p]);
+        for (std::size_t i = 0; i < n; ++i) {
+          buf[p * lay.pencil_stride + i * lay.elem_stride] = x[i];
+        }
+      }
+      plan.forward_batch(buf.data(), lay.elem_stride, lay.pencil_stride,
+                         pencils, ws);
+      for (std::size_t p = 0; p < pencils; ++p) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx got = buf[p * lay.pencil_stride + i * lay.elem_stride];
+          EXPECT_LT(std::abs(got - want[p][i]),
+                    1e-9 * static_cast<double>(n))
+              << "n=" << n << " pencils=" << pencils << " es="
+              << lay.elem_stride << " ps=" << lay.pencil_stride << " p=" << p
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BatchLengths, InverseMatchesDirectDft) {
+  const std::size_t n = GetParam();
+  Fft1D plan(n);
+  FftWorkspace ws;
+  const std::size_t pencils = kTile + 1;  // exercises a partial final tile
+  const Layout lay{pencils, 1};
+  std::vector<cplx> buf(layout_extent(lay, n, pencils));
+  std::vector<std::vector<cplx>> want(pencils);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    const auto x = random_signal(n, 2000 * n + p);
+    want[p].resize(n);
+    dft_direct_inverse(x, want[p]);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[p * lay.pencil_stride + i * lay.elem_stride] = x[i];
+    }
+  }
+  plan.inverse_batch(buf.data(), lay.elem_stride, lay.pencil_stride, pencils,
+                     ws);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx got = buf[p * lay.pencil_stride + i * lay.elem_stride];
+      EXPECT_LT(std::abs(got - want[p][i]), 1e-9) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST_P(BatchLengths, RoundTripBound) {
+  const std::size_t n = GetParam();
+  if (n > 512) GTEST_SKIP() << "round-trip bound asserted for n <= 512";
+  Fft1D plan(n);
+  FftWorkspace ws;
+  const std::size_t pencils = kTile + 1;
+  std::vector<cplx> buf(n * pencils);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    const auto x = random_signal(n, 3000 * n + p);
+    std::copy(x.begin(), x.end(), buf.begin() + p * n);
+  }
+  const auto orig = buf;
+  plan.forward_batch(buf.data(), 1, n, pencils, ws);
+  plan.inverse_batch(buf.data(), 1, n, pencils, ws);
+  EXPECT_LT(max_err(buf, orig), 1e-12) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, BatchLengths,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 30,
+                                           32, 64, 100, 128, 243, 256, 500,
+                                           512, 1000, 1024));
+
+TEST(BatchPath, MatchesScalarStridedPath) {
+  const std::size_t n = 128;
+  const std::size_t pencils = 2 * kTile + 5;
+  Fft1D plan(n);
+  FftWorkspace ws;
+  auto a = random_signal(n * pencils, 99);
+  auto b = a;
+  plan.forward_batch(a.data(), pencils, 1, pencils, ws);
+  plan.forward_strided(b.data(), pencils, 1, pencils, ws);
+  EXPECT_LT(max_err(a, b), 1e-11);
+}
+
+TEST(BatchPath, PrunedForwardMatchesScalarPruned) {
+  for (std::size_t n : {std::size_t{128}, std::size_t{100}}) {
+    const std::size_t k = 16;
+    const std::size_t offset = 33;
+    const std::size_t pencils = kTile + 2;
+    Fft1D plan(n);
+    FftWorkspace ws;
+    // Input: pencil-interleaved nonzero block (the slab z-stage pattern).
+    std::vector<cplx> in(k * pencils);
+    for (std::size_t p = 0; p < pencils; ++p) {
+      const auto chunk = random_signal(k, 500 + p);
+      for (std::size_t t = 0; t < k; ++t) in[t * pencils + p] = chunk[t];
+    }
+    std::vector<cplx> got(n * pencils);
+    plan.forward_batch_pruned(in.data(), pencils, 1, k, offset, got.data(), n,
+                              pencils, ws);
+    for (std::size_t p = 0; p < pencils; ++p) {
+      std::vector<cplx> chunk(k);
+      for (std::size_t t = 0; t < k; ++t) chunk[t] = in[t * pencils + p];
+      std::vector<cplx> want(n);
+      input_pruned_forward(plan, chunk, offset, want, ws);
+      EXPECT_LT(max_err({got.data() + p * n, n}, want), 1e-11)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BatchPath, PrunedRejectsOverflow) {
+  Fft1D plan(16);
+  FftWorkspace ws;
+  std::vector<cplx> in(8), out(16);
+  EXPECT_THROW(
+      plan.forward_batch_pruned(in.data(), 1, 8, 8, 10, out.data(), 16, 1, ws),
+      InvalidArgument);
+}
+
+TEST(BatchPath, ZeroPencilsIsANoOp) {
+  Fft1D plan(32);
+  FftWorkspace ws;
+  plan.forward_batch(nullptr, 1, 32, 0, ws);
+  plan.inverse_batch(nullptr, 1, 32, 0, ws);
+}
+
+TEST(BatchPath, LengthOneIdentity) {
+  Fft1D plan(1);
+  FftWorkspace ws;
+  std::vector<cplx> buf{cplx{1.5, -2.5}, cplx{3.0, 4.0}};
+  auto orig = buf;
+  plan.forward_batch(buf.data(), 1, 1, 2, ws);
+  plan.inverse_batch(buf.data(), 1, 1, 2, ws);
+  EXPECT_EQ(buf[0], orig[0]);
+  EXPECT_EQ(buf[1], orig[1]);
+}
+
+TEST(Simd, ComplexMulInplaceMatchesScalar) {
+  const std::size_t n = 31;  // odd → exercises the tail loop
+  auto a = random_signal(n, 7);
+  const auto b = random_signal(n, 8);
+  auto want = a;
+  for (std::size_t i = 0; i < n; ++i) want[i] *= b[i];
+  simd::complex_mul_inplace(a.data(), b.data(), n);
+  EXPECT_LT(max_err(a, want), 1e-14);
+}
+
+TEST(Workspace, ScratchGrowthPreservesAlignmentAndSize) {
+  FftWorkspace ws;
+  auto s1 = ws.buffer_a(10);
+  EXPECT_EQ(s1.size(), 10u);
+  auto s2 = ws.buffer_a(1000);  // growth
+  EXPECT_EQ(s2.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s2.data()) % kAlignment, 0u);
+  auto s3 = ws.buffer_a(5);  // shrink request reuses capacity
+  EXPECT_EQ(s3.size(), 5u);
+  EXPECT_EQ(s3.data(), s2.data());
+}
+
+}  // namespace
+}  // namespace lc::fft
