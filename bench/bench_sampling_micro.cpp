@@ -1,8 +1,22 @@
 // Micro-benchmarks of the sampling substrate: octree construction,
 // metadata codec, compression (gather) and reconstruction (interpolate).
+//
+// Modes:
+//   (default)      google-benchmark suite
+//   --json-probe   deterministic scalar/rows reconstruction timings written
+//                  to BENCH_sampling_micro.json for the CI perf gate
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "sampling/compressed_field.hpp"
 #include "sampling/octree.hpp"
 
@@ -95,6 +109,96 @@ void BM_ReconstructRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_ReconstructRegion);
 
+// ---------------------------------------------------------------------------
+// --json-probe: deterministic scalar/rows reconstruction timings for the
+// CI gate (same shape as bench_fft_micro's probe).
+
+/// Best-of-runs throughput of `op` over `items` grid points.
+double probe_mitems(const std::function<void()>& op, std::size_t items) {
+  using clock = std::chrono::steady_clock;
+  op();  // warm caches and scratch
+  auto t0 = clock::now();
+  op();
+  double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const int reps = std::max(1, static_cast<int>(0.03 / std::max(once, 1e-7)));
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    t0 = clock::now();
+    for (int r = 0; r < reps; ++r) op();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    const double rate = static_cast<double>(items) * reps / dt / 1e6;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+int run_json_probe() {
+  lc::bench::JsonWriter json("sampling_micro");
+  json.meta("simd_backend", std::string(simd::kBackend));
+  json.meta("units", "mitems_per_s");
+  // "gated" marks the rows the regression checker enforces (the vectorized
+  // reconstruction path); scalar rows are the informational baseline.
+  json.header({"case", "n", "batch", "path", "mitems_per_s", "gated"});
+
+  const i64 n = 128;
+  const Grid3 g = Grid3::cube(n);
+  auto tree = std::make_shared<Octree>(
+      g, Box3::cube_at({n / 4, n / 4, n / 4}, n / 4),
+      SamplingPolicy::paper_default(n / 4, 16, 2));
+  RealField f(g);
+  SplitMix64 rng(2);
+  for (auto& v : f.span()) v = rng.uniform(-1, 1);
+  const CompressedField c = CompressedField::compress(f, tree);
+  const Box3 region = Box3::of(g);
+  std::vector<double> out(static_cast<std::size_t>(g.size()));
+
+  struct Case {
+    const char* name;
+    Interpolation interp;
+  };
+  for (const auto& cs : {Case{"reconstruct_trilinear", Interpolation::kTrilinear},
+                         Case{"reconstruct_tricubic", Interpolation::kTricubic}}) {
+    double scalar_rate = 0.0;
+    const auto run_path = [&](const char* path, bool gated, auto&& op) {
+      const double rate =
+          probe_mitems(op, static_cast<std::size_t>(g.size()));
+      char num[32];
+      std::snprintf(num, sizeof(num), "%.1f", rate);
+      json.row({cs.name, std::to_string(n), "1", path, num,
+                gated ? "1" : "0"});
+      std::printf("%-22s n=%-4lld %-7s %8.1f Mitems/s\n", cs.name,
+                  static_cast<long long>(n), path, rate);
+      return rate;
+    };
+    scalar_rate = run_path("scalar", false, [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      c.reconstruct_add_scalar(out, region, cs.interp);
+    });
+    const double rows_rate = run_path("rows", true, [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      c.reconstruct_add_rows(out, region, cs.interp);
+    });
+    std::printf("%-22s rows/scalar speedup: %.2fx\n", cs.name,
+                rows_rate / scalar_rate);
+  }
+  const std::string path = json.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_sampling_micro.json\n");
+    return 1;
+  }
+  std::printf("[json] wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json-probe") return run_json_probe();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,23 +1,25 @@
 #!/usr/bin/env python3
-"""CI perf-smoke gate for the batched FFT engine.
+"""CI perf-smoke gate for the --json-probe micro-benchmarks.
 
-Compares a freshly produced BENCH_fft_micro.json (from
-`bench_fft_micro --json-probe`) against the committed baseline in
-bench/baselines/ and fails if any gated row regressed by more than the
-threshold.
+Compares a freshly produced BENCH_<name>.json (from
+`bench_fft_micro --json-probe` or `bench_sampling_micro --json-probe`)
+against the committed baseline in bench/baselines/ and fails if any gated
+row regressed by more than the threshold.
 
-Gated rows: path == "batch" of the pow2 pencil cases — the throughput the
-paper's batching parameter B depends on. Scalar and Bluestein rows are
-reported but informational (scalar is the reference path; Bluestein adds
+Gated rows: rows carrying a truthy "gated" field in the baseline. Probes
+that predate the field (BENCH_fft_micro.json baselines) fall back to the
+legacy heuristic: path == "batch" of the pow2 pencil cases. Everything else
+is reported but informational (scalar is the reference path; Bluestein adds
 noise from the chirp length's allocator behaviour).
 
-Refreshing the baseline (after an intentional engine change, or when moving
+Refreshing a baseline (after an intentional engine change, or when moving
 CI to different hardware):
 
     cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build build-rel -j --target bench_fft_micro
+    cmake --build build-rel -j --target bench_fft_micro bench_sampling_micro
     (cd build-rel && ./bench/bench_fft_micro --json-probe)
-    cp build-rel/BENCH_fft_micro.json bench/baselines/BENCH_fft_micro.json
+    (cd build-rel && ./bench/bench_sampling_micro --json-probe)
+    cp build-rel/BENCH_*.json bench/baselines/
 
 Usage: check_perf_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
 """
@@ -33,8 +35,15 @@ def load_rows(path):
     rows = {}
     for row in doc.get("rows", []):
         key = (row["case"], int(row["n"]), int(row["batch"]), row["path"])
-        rows[key] = float(row["mitems_per_s"])
+        rows[key] = (float(row["mitems_per_s"]), row.get("gated"))
     return rows
+
+
+def is_gated(key, gated_field):
+    if gated_field is not None:
+        return bool(int(gated_field))
+    case, _n, _batch, path = key  # legacy probes without a "gated" field
+    return path == "batch" and case == "pencil_pow2"
 
 
 def main():
@@ -50,19 +59,19 @@ def main():
     cur = load_rows(args.current)
 
     failures = []
-    print(f"{'case':<18} {'n':>5} {'B':>4} {'path':<7} "
+    print(f"{'case':<22} {'n':>5} {'B':>4} {'path':<7} "
           f"{'base':>9} {'now':>9} {'ratio':>7}")
     for key in sorted(base):
         case, n, batch, path = key
-        b = base[key]
-        gated = path == "batch" and case == "pencil_pow2"
+        b, gated_field = base[key]
+        gated = is_gated(key, gated_field)
         if key not in cur:
-            print(f"{case:<18} {n:>5} {batch:>4} {path:<7} "
+            print(f"{case:<22} {n:>5} {batch:>4} {path:<7} "
                   f"{b:>9.1f} {'MISSING':>9}")
             if gated:
                 failures.append(f"{key}: row missing from current results")
             continue
-        c = cur[key]
+        c = cur[key][0]
         ratio = c / b if b > 0 else float("inf")
         mark = ""
         if gated and c < b * (1.0 - args.threshold):
@@ -71,7 +80,7 @@ def main():
                 f"{case} n={n} B={batch} {path}: {b:.1f} -> {c:.1f} "
                 f"Mitems/s ({(1 - ratio) * 100:.1f}% drop, "
                 f"limit {args.threshold * 100:.0f}%)")
-        print(f"{case:<18} {n:>5} {batch:>4} {path:<7} "
+        print(f"{case:<22} {n:>5} {batch:>4} {path:<7} "
               f"{b:>9.1f} {c:>9.1f} {ratio:>6.2f}x{mark}")
 
     if failures:

@@ -85,6 +85,85 @@ inline Vd fmsub(Vd a, Vd b, Vd c) noexcept { return a * b - c; }
 
 #endif
 
+/// dst[i] = w * src[i] for i in [0, n): first term of a weighted row sum.
+inline void row_scale(double* dst, const double* src, double w,
+                      std::size_t n) noexcept {
+  const Vd vw = broadcast(w);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) store(dst + i, mul(vw, load(src + i)));
+  for (; i < n; ++i) dst[i] = w * src[i];
+}
+
+/// dst[i] += w * src[i] for i in [0, n): the row-interpolation axpy.
+inline void row_axpy(double* dst, const double* src, double w,
+                     std::size_t n) noexcept {
+  const Vd vw = broadcast(w);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    store(dst + i, fmadd(vw, load(src + i), load(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] += w * src[i];
+}
+
+/// dst[i] += w0[i]*c0 + w1[i]*c1 + w2[i]*c2 + w3[i]*c3 for i in [0, n):
+/// the per-phase x-row kernel of separable interpolation — four broadcast
+/// stencil values against four per-point weight lanes.
+inline void row_weighted4_add(double* dst, const double* w0, const double* w1,
+                              const double* w2, const double* w3, double c0,
+                              double c1, double c2, double c3,
+                              std::size_t n) noexcept {
+  const Vd v0 = broadcast(c0);
+  const Vd v1 = broadcast(c1);
+  const Vd v2 = broadcast(c2);
+  const Vd v3 = broadcast(c3);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Vd acc = load(dst + i);
+    acc = fmadd(load(w0 + i), v0, acc);
+    acc = fmadd(load(w1 + i), v1, acc);
+    acc = fmadd(load(w2 + i), v2, acc);
+    acc = fmadd(load(w3 + i), v3, acc);
+    store(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    dst[i] += w0[i] * c0 + w1[i] * c1 + w2[i] * c2 + w3[i] * c3;
+  }
+}
+
+/// Two-tap variant of row_weighted4_add: dst[i] += w1[i]·c1 + w2[i]·c2.
+/// The linear-interpolation fast path — taps 0 and 3 of a trilinear
+/// stencil are identically zero, so skipping them halves the fmadds.
+inline void row_weighted2_add(double* dst, const double* w1, const double* w2,
+                              double c1, double c2, std::size_t n) noexcept {
+  const Vd v1 = broadcast(c1);
+  const Vd v2 = broadcast(c2);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    Vd acc = load(dst + i);
+    acc = fmadd(load(w1 + i), v1, acc);
+    acc = fmadd(load(w2 + i), v2, acc);
+    store(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    dst[i] += w1[i] * c1 + w2[i] * c2;
+  }
+}
+
+/// dst[i] += a + (b - a)·t[i]: one linear-interpolation row with broadcast
+/// endpoints and a per-point fraction lane (the single-interval-cell fast
+/// path of octree reconstruction).
+inline void row_lerp_add(double* dst, const double* t, double a, double b,
+                         std::size_t n) noexcept {
+  const Vd va = broadcast(a);
+  const Vd vd = broadcast(b - a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    store(dst + i, add(load(dst + i), fmadd(vd, load(t + i), va)));
+  }
+  const double d = b - a;
+  for (; i < n; ++i) dst[i] += a + d * t[i];
+}
+
 /// Pointwise in-place complex multiply on interleaved storage:
 /// a[i] *= b[i] for i in [0, n). The vector path multiplies kLanes/2
 /// complex values per step without deinterleaving (dup-even / dup-odd +

@@ -6,24 +6,42 @@ namespace lc::core {
 
 RealField accumulate_region(
     const std::vector<sampling::CompressedField>& contributions,
-    const Box3& region, sampling::Interpolation interp) {
+    const Box3& region, sampling::Interpolation interp, ThreadPool* pool) {
   LC_CHECK_ARG(!region.empty(), "empty accumulation region");
   RealField out(region.extents(), 0.0);
-  for (const auto& c : contributions) {
-    c.reconstruct_add(out, region, interp);
+  const Grid3 ext = region.extents();
+  const std::size_t plane =
+      static_cast<std::size_t>(ext.nx) * static_cast<std::size_t>(ext.ny);
+  const auto nz = static_cast<std::size_t>(ext.nz);
+
+  // One z-slab of the region: a contiguous, exclusively-owned span of `out`.
+  auto slab = [&](std::size_t zlo, std::size_t zhi) {
+    const Box3 tile{{region.lo.x, region.lo.y,
+                     region.lo.z + static_cast<i64>(zlo)},
+                    {region.hi.x, region.hi.y,
+                     region.lo.z + static_cast<i64>(zhi)}};
+    const auto span = out.span().subspan(zlo * plane, (zhi - zlo) * plane);
+    for (const auto& c : contributions) {
+      c.reconstruct_add_into(span, tile, interp);
+    }
+  };
+
+  if (pool == nullptr || pool->size() <= 1 || nz <= 1 ||
+      pool->on_worker_thread()) {
+    slab(0, nz);
+  } else {
+    pool->parallel_for_blocks(0, nz, slab);
   }
   return out;
 }
 
 RealField accumulate_full(
     const std::vector<sampling::CompressedField>& contributions,
-    const Grid3& grid, sampling::Interpolation interp) {
-  RealField out(grid, 0.0);
+    const Grid3& grid, sampling::Interpolation interp, ThreadPool* pool) {
   for (const auto& c : contributions) {
     LC_CHECK_ARG(c.octree().grid() == grid, "contribution grid mismatch");
-    c.reconstruct_add(out, Box3::of(grid), interp);
   }
-  return out;
+  return accumulate_region(contributions, Box3::of(grid), interp, pool);
 }
 
 }  // namespace lc::core

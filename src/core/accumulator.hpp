@@ -2,20 +2,33 @@
 // every sub-domain's compressed convolution contribution is interpolated
 // onto each target region and summed. By linearity of convolution the sum
 // over all sub-domain contributions equals the full convolution.
+//
+// Threading contract: when a pool is supplied, the output region is split
+// into z-slab tiles dispatched on ThreadPool::parallel_for_blocks; each tile
+// is a disjoint contiguous span of the output (x-fastest layout makes z-slabs
+// contiguous), so workers never share a write destination and no atomics are
+// needed. Within a tile, contributions are added in their vector order — the
+// per-point addition order is identical to the serial path, so parallel and
+// serial accumulation produce bit-identical results. Calls from inside a
+// pool worker (e.g. the runtime service's accumulate tasks, SimCluster
+// ranks) degrade to serial automatically.
 #pragma once
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sampling/compressed_field.hpp"
 
 namespace lc::core {
 
 /// Sum the interpolated reconstructions of `contributions` over `region`,
-/// returning a tight field covering the region.
+/// returning a tight field covering the region. `pool` enables z-slab
+/// parallel accumulation (nullptr → serial).
 [[nodiscard]] RealField accumulate_region(
     const std::vector<sampling::CompressedField>& contributions,
     const Box3& region,
-    sampling::Interpolation interp = sampling::Interpolation::kTrilinear);
+    sampling::Interpolation interp = sampling::Interpolation::kTrilinear,
+    ThreadPool* pool = nullptr);
 
 /// Assemble a full dense grid by accumulating every contribution everywhere
 /// (test/verification path; a production run only accumulates the regions
@@ -23,6 +36,7 @@ namespace lc::core {
 [[nodiscard]] RealField accumulate_full(
     const std::vector<sampling::CompressedField>& contributions,
     const Grid3& grid,
-    sampling::Interpolation interp = sampling::Interpolation::kTrilinear);
+    sampling::Interpolation interp = sampling::Interpolation::kTrilinear,
+    ThreadPool* pool = nullptr);
 
 }  // namespace lc::core

@@ -55,7 +55,11 @@ std::vector<std::vector<std::pair<std::size_t, i64>>> cells_by_plane(
 void run_blocks(ThreadPool* pool, std::size_t count,
                 const std::function<void(std::size_t, std::size_t,
                                          fft::FftWorkspace&)>& body) {
-  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+  // Degrade to serial when already running on one of the pool's own workers
+  // (LowCommConvolution::convolve parallelizes across sub-domains on the
+  // same pool; nesting parallel_for would deadlock-throw).
+  if (pool == nullptr || pool->size() <= 1 || count <= 1 ||
+      pool->on_worker_thread()) {
     fft::FftWorkspace ws;
     body(0, count, ws);
     return;

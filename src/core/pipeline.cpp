@@ -1,5 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <bit>
+#include <optional>
+#include <span>
+
 #include "common/check.hpp"
 
 namespace lc::core {
@@ -23,14 +27,13 @@ LowCommConvolution::LowCommConvolution(
 std::shared_ptr<const sampling::Octree> LowCommConvolution::octree_for(
     std::size_t subdomain_index) const {
   LC_CHECK_ARG(subdomain_index < decomp_.count(), "sub-domain index range");
-  std::lock_guard lock(octree_mutex_);
-  auto& slot = octrees_[subdomain_index];
-  if (slot == nullptr) {
-    slot = std::make_shared<sampling::Octree>(
+  OctreeSlot& slot = octrees_[subdomain_index];
+  std::call_once(slot.once, [&] {
+    slot.tree = std::make_shared<sampling::Octree>(
         decomp_.grid(), decomp_.subdomain(subdomain_index),
         params_.make_policy());
-  }
-  return slot;
+  });
+  return slot.tree;
 }
 
 void LowCommConvolution::seed_octree(
@@ -41,9 +44,8 @@ void LowCommConvolution::seed_octree(
   LC_CHECK_ARG(tree->grid() == decomp_.grid() &&
                    tree->subdomain() == decomp_.subdomain(subdomain_index),
                "seeded octree does not match the sub-domain");
-  std::lock_guard lock(octree_mutex_);
-  auto& slot = octrees_[subdomain_index];
-  if (slot == nullptr) slot = std::move(tree);
+  OctreeSlot& slot = octrees_[subdomain_index];
+  std::call_once(slot.once, [&] { slot.tree = std::move(tree); });
 }
 
 sampling::CompressedField LowCommConvolution::convolve_one(
@@ -56,17 +58,36 @@ sampling::CompressedField LowCommConvolution::convolve_one(
 }
 
 LowCommResult LowCommConvolution::convolve(const RealField& input) const {
+  const std::size_t count = decomp_.count();
+  ThreadPool* pool = convolver_.config().pool;
+  std::vector<std::optional<sampling::CompressedField>> slots(count);
+  auto run = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t d = lo; d < hi; ++d) {
+      slots[d].emplace(convolve_one(input, d));
+    }
+  };
+  // Outer parallelism over sub-domains: the local convolver detects it is
+  // running on one of the pool's own workers and degrades its internal
+  // stages to serial, so each worker owns one sub-domain end to end.
+  if (pool == nullptr || pool->size() <= 1 || count <= 1 ||
+      pool->on_worker_thread()) {
+    run(0, count);
+  } else {
+    pool->parallel_for_blocks(0, count, run);
+  }
+
   std::vector<sampling::CompressedField> contributions;
-  contributions.reserve(decomp_.count());
+  contributions.reserve(count);
   std::size_t samples = 0;
   std::size_t bytes = 0;
-  for (std::size_t d = 0; d < decomp_.count(); ++d) {
-    contributions.push_back(convolve_one(input, d));
-    samples += contributions.back().samples().size();
-    bytes += contributions.back().sample_bytes();
+  for (auto& slot : slots) {
+    samples += slot->samples().size();
+    bytes += slot->sample_bytes();
+    contributions.push_back(std::move(*slot));
   }
-  LowCommResult result{accumulate_full(contributions, decomp_.grid(), params_.interpolation), samples,
-                       bytes, 0.0};
+  LowCommResult result{accumulate_full(contributions, decomp_.grid(),
+                                       params_.interpolation, pool),
+                       samples, bytes, 0.0};
   // Ratio versus storing every sub-domain's full-resolution N³ result.
   result.compression_ratio =
       static_cast<double>(decomp_.count()) *
@@ -77,14 +98,58 @@ LowCommResult LowCommConvolution::convolve(const RealField& input) const {
 
 namespace {
 
-/// Does `cell` overlap any sub-domain owned by rank `dst`?
-bool cell_needed_by(const sampling::OctreeCell& cell,
-                    const DomainDecomposition& decomp,
-                    const std::vector<std::size_t>& owned) {
-  for (const std::size_t d : owned) {
-    if (!cell.box().intersect(decomp.subdomain(d)).empty()) return true;
+/// Per-cell destination bitmask for one octree: bit r of mask(cell) is set
+/// iff the cell's box overlaps a sub-domain owned by rank r. Built in ONE
+/// pass over (cells × sub-domains) and queried O(1) afterwards — replacing
+/// the per-(cell, destination, owned-box) overlap tests the exchange loops
+/// used to repeat for every use site.
+class CellDestMasks {
+ public:
+  CellDestMasks(const sampling::Octree& tree,
+                const DomainDecomposition& decomp,
+                std::span<const int> owner_of, int workers) {
+    const auto cells = tree.cells();
+    words_ = (static_cast<std::size_t>(workers) + 63) / 64;
+    bits_.assign(cells.size() * words_, 0);
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+      const Box3 box = cells[ci].box();
+      for (std::size_t d = 0; d < decomp.count(); ++d) {
+        if (box.intersect(decomp.subdomain(d)).empty()) continue;
+        const auto r = static_cast<std::size_t>(owner_of[d]);
+        bits_[ci * words_ + r / 64] |= std::uint64_t{1} << (r % 64);
+      }
+    }
   }
-  return false;
+
+  [[nodiscard]] bool needed(std::size_t cell, int rank) const noexcept {
+    const auto r = static_cast<std::size_t>(rank);
+    return (bits_[cell * words_ + r / 64] >> (r % 64)) & 1u;
+  }
+
+  /// Number of destination ranks needing this cell, excluding `self`.
+  [[nodiscard]] int fanout_excluding(std::size_t cell, int self) const
+      noexcept {
+    int n = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      n += std::popcount(bits_[cell * words_ + w]);
+    }
+    return n - (needed(cell, self) ? 1 : 0);
+  }
+
+ private:
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// owner_of[d] = rank owning sub-domain d under round-robin assignment.
+std::vector<int> invert_assignment(
+    const DomainDecomposition& decomp,
+    const std::vector<std::vector<std::size_t>>& owned) {
+  std::vector<int> owner_of(decomp.count(), 0);
+  for (std::size_t r = 0; r < owned.size(); ++r) {
+    for (const std::size_t d : owned[r]) owner_of[d] = static_cast<int>(r);
+  }
+  return owner_of;
 }
 
 }  // namespace
@@ -97,17 +162,16 @@ std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
   for (int r = 0; r < workers; ++r) {
     owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
   }
+  const std::vector<int> owner_of = invert_assignment(decomp, owned);
   std::size_t bytes = 0;
   for (int src = 0; src < workers; ++src) {
     for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
       const auto tree = engine.octree_for(d);
-      for (const auto& cell : tree->cells()) {
-        for (int dst = 0; dst < workers; ++dst) {
-          if (dst == src) continue;  // self-delivery is free
-          if (cell_needed_by(cell, decomp, owned[static_cast<std::size_t>(dst)])) {
-            bytes += cell.sample_count() * sizeof(double);
-          }
-        }
+      const CellDestMasks masks(*tree, decomp, owner_of, workers);
+      const auto cells = tree->cells();
+      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        bytes += static_cast<std::size_t>(masks.fanout_excluding(ci, src)) *
+                 cells[ci].sample_count() * sizeof(double);
       }
     }
   }
@@ -137,12 +201,20 @@ RealField distributed_lowcomm_convolve(
       owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
     }
     const auto& mine = owned[static_cast<std::size_t>(rank.id())];
+    const std::vector<int> owner_of = invert_assignment(decomp, owned);
+    const int me = rank.id();
 
-    // Local convolution of my sub-domains.
+    // Local convolution of my sub-domains, plus one destination bitmask per
+    // local octree (computed once; the pack loop below queries it O(1) per
+    // (cell, destination) instead of re-intersecting owned boxes).
     std::vector<sampling::CompressedField> local;
+    std::vector<CellDestMasks> local_masks;
     local.reserve(mine.size());
+    local_masks.reserve(mine.size());
     for (const std::size_t d : mine) {
       local.push_back(engine.convolve_one(input, d));
+      local_masks.emplace_back(local.back().octree(), decomp, owner_of,
+                               workers);
     }
 
     // The single global exchange of the method (Fig 1b): per destination,
@@ -152,15 +224,12 @@ RealField distributed_lowcomm_convolve(
     for (int dst = 0; dst < workers; ++dst) {
       auto& buf = outgoing[static_cast<std::size_t>(dst)];
       for (std::size_t i = 0; i < mine.size(); ++i) {
-        const auto& tree = local[i].octree();
+        const auto cells = local[i].octree().cells();
         const auto payload = local[i].samples();
-        for (const auto& cell : tree.cells()) {
-          if (!cell_needed_by(cell, decomp,
-                              owned[static_cast<std::size_t>(dst)])) {
-            continue;
-          }
-          const auto s = payload.subspan(cell.sample_offset,
-                                         cell.sample_count());
+        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+          if (!local_masks[i].needed(ci, dst)) continue;
+          const auto s = payload.subspan(cells[ci].sample_offset,
+                                         cells[ci].sample_count());
           buf.insert(buf.end(), s.begin(), s.end());
         }
       }
@@ -177,8 +246,11 @@ RealField distributed_lowcomm_convolve(
       for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
         sampling::CompressedField c(engine.octree_for(d));
         auto dst_payload = c.samples();
-        for (const auto& cell : c.octree().cells()) {
-          if (!cell_needed_by(cell, decomp, mine)) continue;
+        const CellDestMasks masks(c.octree(), decomp, owner_of, workers);
+        const auto cells = c.octree().cells();
+        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+          if (!masks.needed(ci, me)) continue;
+          const auto& cell = cells[ci];
           LC_CHECK(offset + cell.sample_count() <= buf.size(),
                    "payload framing mismatch");
           std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
@@ -197,7 +269,8 @@ RealField distributed_lowcomm_convolve(
     // (simulating the distributed output staying in place).
     for (const std::size_t d : mine) {
       const Box3& box = decomp.subdomain(d);
-      const RealField tile = accumulate_region(contributions, box, params.interpolation);
+      const RealField tile =
+          accumulate_region(contributions, box, params.interpolation);
       std::lock_guard lock(assemble_mutex);
       assembled.insert(tile, box.lo);
     }

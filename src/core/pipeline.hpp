@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "comm/sim_cluster.hpp"
@@ -55,8 +56,12 @@ class LowCommConvolution {
   }
   [[nodiscard]] const LowCommParams& params() const noexcept { return params_; }
 
-  /// Convolve `input` with the kernel; sub-domains are processed
-  /// sequentially on this worker (the paper's POC does the same on one GPU).
+  /// Convolve `input` with the kernel. Sub-domains are dispatched across
+  /// the configured thread pool (LocalConvolverConfig::pool; each worker
+  /// runs the local FFT pipeline serially inside its sub-domain), and the
+  /// final accumulation runs z-slab-parallel on the same pool. With a null
+  /// pool everything runs sequentially on this thread, as the paper's POC
+  /// does on one GPU.
   [[nodiscard]] LowCommResult convolve(const RealField& input) const;
 
   /// Compress one sub-domain's contribution (building block for the
@@ -77,11 +82,19 @@ class LowCommConvolution {
                    std::shared_ptr<const sampling::Octree> tree) const;
 
  private:
+  // One lazily-built octree per sub-domain. Each slot carries its own
+  // once_flag, so parallel sub-domain workers resolving different slots
+  // never serialize on a shared lock, and repeat lookups of a built slot
+  // are a single synchronized load inside std::call_once's fast path.
+  struct OctreeSlot {
+    std::once_flag once;
+    std::shared_ptr<const sampling::Octree> tree;
+  };
+
   DomainDecomposition decomp_;
   LowCommParams params_;
   LocalConvolver convolver_;
-  mutable std::vector<std::shared_ptr<const sampling::Octree>> octrees_;
-  mutable std::mutex octree_mutex_;
+  mutable std::vector<OctreeSlot> octrees_;
 };
 
 /// Distributed run over a simulated cluster: ranks convolve their assigned

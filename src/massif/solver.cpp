@@ -92,7 +92,7 @@ void LowCommGreenBackend::apply(const SymTensorField& sigma,
   // Accumulation: the single (simulated) exchange + interpolation step.
   for (std::size_t a = 0; a < 6; ++a) {
     delta_eps.component(a) = core::accumulate_full(
-        contributions[a], decomp_.grid(), params_.interpolation);
+        contributions[a], decomp_.grid(), params_.interpolation, params_.pool);
   }
 }
 

@@ -4,6 +4,8 @@
 #include <array>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
+#include "sampling/row_interp.hpp"
 
 namespace lc::sampling {
 
@@ -21,31 +23,32 @@ CompressedField CompressedField::compress(const RealField& full,
   CompressedField out(std::move(tree));
   for (const auto& c : out.tree_->cells()) {
     const i64 e = c.samples_per_edge();
+    const i64 r = c.rate;
+    // Wrap handling hoisted out of the gather loops: cells sit inside the
+    // grid, so only the edge-inclusive top lattice plane of a coarse cell
+    // can wrap (corner + side == n → index 0), and only on that one plane.
+    const bool xwrap = c.corner.x + (e - 1) * r >= g.nx;
+    const i64 ex = xwrap ? e - 1 : e;
     double* dst = out.samples_.data() + c.sample_offset;
     for (i64 iz = 0; iz < e; ++iz) {
-      const i64 z = (c.corner.z + iz * c.rate) % g.nz;  // wrap top planes
+      i64 z = c.corner.z + iz * r;
+      if (z >= g.nz) z = 0;
       for (i64 iy = 0; iy < e; ++iy) {
-        const i64 y = (c.corner.y + iy * c.rate) % g.ny;
-        for (i64 ix = 0; ix < e; ++ix) {
-          *dst++ = full((c.corner.x + ix * c.rate) % g.nx, y, z);
+        i64 y = c.corner.y + iy * r;
+        if (y >= g.ny) y = 0;
+        const double* src = &full(c.corner.x, y, z);
+        if (r == 1) {
+          std::copy(src, src + e, dst);
+        } else {
+          for (i64 ix = 0; ix < ex; ++ix) dst[ix] = src[ix * r];
+          if (xwrap) dst[e - 1] = full(0, y, z);
         }
+        dst += e;
       }
     }
   }
   return out;
 }
-
-namespace {
-
-/// Catmull-Rom weights for fractional position t in [0, 1): w[-1..2].
-std::array<double, 4> catmull_rom_weights(double t) {
-  const double t2 = t * t;
-  const double t3 = t2 * t;
-  return {(-t3 + 2.0 * t2 - t) * 0.5, (3.0 * t3 - 5.0 * t2 + 2.0) * 0.5,
-          (-3.0 * t3 + 4.0 * t2 + t) * 0.5, (t3 - t2) * 0.5};
-}
-
-}  // namespace
 
 double CompressedField::interpolate_in_cell(const OctreeCell& cell,
                                             std::span<const double> payload,
@@ -92,7 +95,7 @@ double CompressedField::interpolate_in_cell(const OctreeCell& cell,
   // (clamping the stencil instead would break even linear reproduction:
   // duplicated sample positions violate the first moment condition).
   auto axis_weights = [&](i64 b, double t) {
-    if (b >= 1 && b + 2 <= e - 1) return catmull_rom_weights(t);
+    if (b >= 1 && b + 2 <= e - 1) return detail::catmull_rom_weights(t);
     return std::array<double, 4>{0.0, 1.0 - t, t, 0.0};
   };
   const auto wx = axis_weights(bx, fx);
@@ -123,38 +126,211 @@ double CompressedField::value_at(const Index3& p, Interpolation interp) const {
   return interpolate_in_cell(cell, samples(), p, interp);
 }
 
-void CompressedField::reconstruct_add(RealField& out, const Box3& region,
-                                      Interpolation interp) const {
-  LC_CHECK_ARG(out.grid() == region.extents(),
-               "output field must tile the region exactly");
+namespace {
+
+/// Dense (rate-1) cell: the stored lattice IS the grid — add rows directly.
+void add_dense_cell(const OctreeCell& c, std::span<const double> payload,
+                    std::span<double> out, const Box3& region,
+                    const Box3& overlap) {
+  const Grid3 rext = region.extents();
+  const i64 e = c.samples_per_edge();
+  const i64 len = overlap.hi.x - overlap.lo.x;
+  for (i64 z = overlap.lo.z; z < overlap.hi.z; ++z) {
+    const i64 iz = z - c.corner.z;
+    for (i64 y = overlap.lo.y; y < overlap.hi.y; ++y) {
+      const i64 iy = y - c.corner.y;
+      const double* src = payload.data() + c.sample_offset +
+                          static_cast<std::size_t>((iz * e + iy) * e +
+                                                   (overlap.lo.x - c.corner.x));
+      double* dst = out.data() +
+                    rext.index(overlap.lo.x - region.lo.x, y - region.lo.y,
+                               z - region.lo.z);
+      simd::row_axpy(dst, src, 1.0, static_cast<std::size_t>(len));
+    }
+  }
+}
+
+/// Single-interval coarse cell (samples_per_edge == 2, i.e. side == rate):
+/// no axis ever has interior cubic support, so both interpolation orders
+/// reduce to trilinear from the cell's 8 corner samples. Evaluated directly
+/// — the paper-default octree fragments band boundaries into thousands of
+/// such cells, where the general table machinery costs more than the cell.
+void add_corner_cell(const OctreeCell& c, std::span<const double> payload,
+                     std::span<double> out, const Box3& region,
+                     const Box3& overlap, AlignedVector<double>& xfrac) {
+  const Grid3 rext = region.extents();
+  const double inv_r = 1.0 / static_cast<double>(c.rate);
+  const double* s = payload.data() + c.sample_offset;
+  const auto xlen = static_cast<std::size_t>(overlap.hi.x - overlap.lo.x);
+  // Fractional x positions of the overlap columns, shared by every row.
+  if (xfrac.size() < xlen) xfrac.resize(xlen);
+  for (std::size_t i = 0; i < xlen; ++i) {
+    xfrac[i] = static_cast<double>(overlap.lo.x + static_cast<i64>(i) -
+                                   c.corner.x) *
+               inv_r;
+  }
+  for (i64 z = overlap.lo.z; z < overlap.hi.z; ++z) {
+    const double fz = static_cast<double>(z - c.corner.z) * inv_r;
+    // Blend the two corner planes along z: a<x><y>.
+    const double a00 = s[0] + (s[4] - s[0]) * fz;
+    const double a10 = s[1] + (s[5] - s[1]) * fz;
+    const double a01 = s[2] + (s[6] - s[2]) * fz;
+    const double a11 = s[3] + (s[7] - s[3]) * fz;
+    for (i64 y = overlap.lo.y; y < overlap.hi.y; ++y) {
+      const double fy = static_cast<double>(y - c.corner.y) * inv_r;
+      const double c0 = a00 + (a01 - a00) * fy;
+      const double c1 = a10 + (a11 - a10) * fy;
+      double* dst = out.data() +
+                    rext.index(overlap.lo.x - region.lo.x, y - region.lo.y,
+                               z - region.lo.z);
+      simd::row_lerp_add(dst, xfrac.data(), c0, c1, xlen);
+    }
+  }
+}
+
+}  // namespace
+
+void CompressedField::reconstruct_add_rows(std::span<double> out,
+                                           const Box3& region,
+                                           Interpolation interp) const {
+  LC_CHECK_ARG(out.size() == region.volume(),
+               "output span must tile the region exactly");
   LC_CHECK_ARG(Box3::of(tree_->grid()).contains(region),
                "region outside compressed grid");
   const auto payload = samples();
+  const Grid3 rext = region.extents();
+  const bool cubic = interp == Interpolation::kTricubic;
+
+  // Scratch reused across cells. `crow` holds one y/z-combined sample row
+  // with one front and two back guard elements so the 4-tap x kernel never
+  // reads out of bounds; guard taps carry exact zero weights, so their
+  // (finite) contents never contribute.
+  detail::AxisTable xt;
+  detail::AxisTable yt;
+  detail::AxisTable zt;
+  AlignedVector<double> crow;
+  AlignedVector<double> xfrac;
+
   for (const auto& c : tree_->cells()) {
     const Box3 overlap = c.box().intersect(region);
     if (overlap.empty()) continue;
     if (c.rate == 1) {
-      // Dense cell: direct copy of the stored lattice (it is the grid).
-      const i64 e = c.samples_per_edge();
-      for (i64 z = overlap.lo.z; z < overlap.hi.z; ++z) {
-        const i64 iz = z - c.corner.z;
-        for (i64 y = overlap.lo.y; y < overlap.hi.y; ++y) {
-          const i64 iy = y - c.corner.y;
-          const double* src = payload.data() + c.sample_offset +
-                              static_cast<std::size_t>((iz * e + iy) * e +
-                                                       (overlap.lo.x - c.corner.x));
-          double* dst = &out(overlap.lo.x - region.lo.x, y - region.lo.y,
-                             z - region.lo.z);
-          for (i64 x = 0; x < overlap.hi.x - overlap.lo.x; ++x) dst[x] += src[x];
+      add_dense_cell(c, payload, out, region, overlap);
+      continue;
+    }
+
+    const i64 e = c.samples_per_edge();
+    if (e == 2) {
+      add_corner_cell(c, payload, out, region, overlap, xfrac);
+      continue;
+    }
+    xt.build(overlap.lo.x, overlap.hi.x, c.corner.x, c.rate, e, cubic);
+    yt.build(overlap.lo.y, overlap.hi.y, c.corner.y, c.rate, e, cubic);
+    zt.build(overlap.lo.z, overlap.hi.z, c.corner.z, c.rate, e, cubic);
+    if (crow.size() < static_cast<std::size_t>(e) + 3) {
+      crow.assign(static_cast<std::size_t>(e) + 3, 0.0);
+    }
+    double* crow_p = crow.data() + 1;
+    const double* s = payload.data() + c.sample_offset;
+    const auto ue = static_cast<std::size_t>(e);
+    const auto xlen = static_cast<std::size_t>(overlap.hi.x - overlap.lo.x);
+
+    for (i64 z = overlap.lo.z; z < overlap.hi.z; ++z) {
+      const auto zi = static_cast<std::size_t>(z - overlap.lo.z);
+      const i64 bz = zt.base[zi];
+      for (i64 y = overlap.lo.y; y < overlap.hi.y; ++y) {
+        const auto yi = static_cast<std::size_t>(y - overlap.lo.y);
+        const i64 by = yt.base[yi];
+
+        // Collapse the y/z stencil: crow[ix] = Σ wz·wy · s[ix, iy, iz].
+        bool first = true;
+        for (int dz = 0; dz < 4; ++dz) {
+          const double wzv = zt.w[dz][zi];
+          if (wzv == 0.0) continue;
+          const i64 iz = bz - 1 + dz;
+          for (int dy = 0; dy < 4; ++dy) {
+            const double wyz = yt.w[dy][yi] * wzv;
+            if (wyz == 0.0) continue;
+            const i64 iy = by - 1 + dy;
+            const double* srow = s + static_cast<std::size_t>((iz * e + iy) * e);
+            if (first) {
+              simd::row_scale(crow_p, srow, wyz, ue);
+              first = false;
+            } else {
+              simd::row_axpy(crow_p, srow, wyz, ue);
+            }
+          }
+        }
+
+        // Evaluate the whole x-row: coordinates sharing a base sample form
+        // runs of up to `rate` points — broadcast the 4 stencil values once
+        // per run and sweep the per-point weight lanes with SIMD.
+        double* orow = out.data() +
+                       rext.index(overlap.lo.x - region.lo.x, y - region.lo.y,
+                                  z - region.lo.z);
+        std::size_t i = 0;
+        while (i < xlen) {
+          const std::int32_t b = xt.base[i];
+          std::size_t j = i + 1;
+          while (j < xlen && xt.base[j] == b) ++j;
+          if (cubic) {
+            simd::row_weighted4_add(orow + i, xt.w[0].data() + i,
+                                    xt.w[1].data() + i, xt.w[2].data() + i,
+                                    xt.w[3].data() + i, crow_p[b - 1],
+                                    crow_p[b], crow_p[b + 1], crow_p[b + 2],
+                                    j - i);
+          } else {
+            // Trilinear taps 0/3 are identically zero along every axis.
+            simd::row_weighted2_add(orow + i, xt.w[1].data() + i,
+                                    xt.w[2].data() + i, crow_p[b],
+                                    crow_p[b + 1], j - i);
+          }
+          i = j;
         }
       }
+    }
+  }
+}
+
+void CompressedField::reconstruct_add_scalar(std::span<double> out,
+                                             const Box3& region,
+                                             Interpolation interp) const {
+  LC_CHECK_ARG(out.size() == region.volume(),
+               "output span must tile the region exactly");
+  LC_CHECK_ARG(Box3::of(tree_->grid()).contains(region),
+               "region outside compressed grid");
+  const auto payload = samples();
+  const Grid3 rext = region.extents();
+  for (const auto& c : tree_->cells()) {
+    const Box3 overlap = c.box().intersect(region);
+    if (overlap.empty()) continue;
+    if (c.rate == 1) {
+      add_dense_cell(c, payload, out, region, overlap);
     } else {
       for_each_point(overlap, [&](const Index3& p) {
-        out(p.x - region.lo.x, p.y - region.lo.y, p.z - region.lo.z) +=
+        out[rext.index(p.x - region.lo.x, p.y - region.lo.y,
+                       p.z - region.lo.z)] +=
             interpolate_in_cell(c, payload, p, interp);
       });
     }
   }
+}
+
+void CompressedField::reconstruct_add_into(std::span<double> out,
+                                           const Box3& region,
+                                           Interpolation interp) const {
+#if defined(LC_SIMD_SCALAR)
+  reconstruct_add_scalar(out, region, interp);
+#else
+  reconstruct_add_rows(out, region, interp);
+#endif
+}
+
+void CompressedField::reconstruct_add(RealField& out, const Box3& region,
+                                      Interpolation interp) const {
+  LC_CHECK_ARG(out.grid() == region.extents(),
+               "output field must tile the region exactly");
+  reconstruct_add_into(out.span(), region, interp);
 }
 
 RealField CompressedField::reconstruct(Interpolation interp) const {

@@ -62,8 +62,29 @@ class CompressedField {
 
   /// Add the interpolated reconstruction over `region` into `out`, where
   /// `out` is a tight field covering exactly `region` of the global grid.
+  /// Dispatches to the vectorized row engine (reconstruct_add_rows), or to
+  /// the scalar per-point reference when the build forces LC_SIMD=off.
   void reconstruct_add(RealField& out, const Box3& region,
                        Interpolation interp = Interpolation::kTrilinear) const;
+
+  /// Raw-span variant of reconstruct_add for external tilers (the z-slab
+  /// workers of core::accumulate_region): `out` is x-fastest tight storage
+  /// of exactly region.volume() doubles covering `region`.
+  void reconstruct_add_into(std::span<double> out, const Box3& region,
+                            Interpolation interp) const;
+
+  /// The vectorized engine: per-axis weight/index tables built once per
+  /// cell overlap (row_interp.hpp), sample rows combined with SIMD
+  /// fmadd kernels, whole x-rows evaluated per (rate, phase) run.
+  void reconstruct_add_rows(std::span<double> out, const Box3& region,
+                            Interpolation interp) const;
+
+  /// The scalar per-point reference path (one interpolate_in_cell call per
+  /// grid point). Kept callable in every build: it is the ground truth the
+  /// row engine is property-tested against, and the default path under
+  /// LC_SIMD=off.
+  void reconstruct_add_scalar(std::span<double> out, const Box3& region,
+                              Interpolation interp) const;
 
   /// Reconstruct the full grid (dense); convenience for error measurement.
   [[nodiscard]] RealField reconstruct(

@@ -1,6 +1,7 @@
 #include "sampling/octree.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -81,6 +82,21 @@ bool rate_uniform_over(i64 min_d, i64 max_d, const SamplingPolicy& policy) {
   return true;
 }
 
+/// Interleaved (z, y, x) Morton key of a point at `levels` bits per axis.
+/// The build recursion visits octants z-major/x-minor, so leaf corners come
+/// out in ascending key order and each leaf of side s covers the contiguous
+/// key range [key(corner), key(corner) + s³).
+std::uint64_t morton_key(const Index3& p, int levels) noexcept {
+  std::uint64_t key = 0;
+  for (int b = levels - 1; b >= 0; --b) {
+    key = (key << 3) |
+          (static_cast<std::uint64_t>((p.z >> b) & 1) << 2) |
+          (static_cast<std::uint64_t>((p.y >> b) & 1) << 1) |
+          static_cast<std::uint64_t>((p.x >> b) & 1);
+  }
+  return key;
+}
+
 }  // namespace
 
 Octree::Octree(const Grid3& grid, const Box3& subdomain)
@@ -97,6 +113,21 @@ Octree::Octree(const Grid3& grid, const Box3& subdomain,
                "sub-domain must be a non-empty box inside the grid");
   build({0, 0, 0}, grid.nx, policy);
   finalize_offsets();
+  build_lookup();
+}
+
+void Octree::build_lookup() {
+  cell_keys_.clear();
+  if (grid_.nx != grid_.ny || grid_.ny != grid_.nz ||
+      !fft::is_pow2(static_cast<std::size_t>(grid_.nx))) {
+    return;  // linear-scan fallback
+  }
+  levels_ = std::countr_zero(static_cast<std::uint64_t>(grid_.nx));
+  cell_keys_.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    cell_keys_.push_back(morton_key(c.corner, levels_));
+  }
+  LC_ASSERT(std::is_sorted(cell_keys_.begin(), cell_keys_.end()));
 }
 
 void Octree::build(const Index3& corner, i64 side,
@@ -206,6 +237,7 @@ Octree Octree::decode_metadata(const Grid3& grid,
     tree.cells_.push_back(c);
   }
   tree.total_ = total_samples;
+  tree.build_lookup();
   return tree;
 }
 
@@ -226,8 +258,22 @@ std::vector<i64> Octree::retained_z_planes() const {
 
 const OctreeCell& Octree::cell_containing(const Index3& p) const {
   LC_CHECK_ARG(grid_.contains(p), "point outside grid");
-  for (const auto& c : cells_) {
-    if (c.box().contains(p)) return c;
+  if (!cell_keys_.empty()) {
+    // Each leaf of side s covers the contiguous key range
+    // [key(corner), key(corner) + s³), so the containing cell is the
+    // predecessor of p's key in the sorted corner-key array.
+    const std::uint64_t key = morton_key(p, levels_);
+    const auto it =
+        std::upper_bound(cell_keys_.begin(), cell_keys_.end(), key);
+    if (it != cell_keys_.begin()) {
+      const auto idx = static_cast<std::size_t>(it - cell_keys_.begin()) - 1;
+      const OctreeCell& c = cells_[idx];
+      if (c.box().contains(p)) return c;
+    }
+  } else {
+    for (const auto& c : cells_) {
+      if (c.box().contains(p)) return c;
+    }
   }
   throw InternalError("octree cells do not tile the grid at " + p.str());
 }

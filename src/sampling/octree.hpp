@@ -88,18 +88,25 @@ class Octree {
   /// pipeline only inverse-transforms these planes.
   [[nodiscard]] std::vector<i64> retained_z_planes() const;
 
-  /// Cell containing point p (cells tile the grid). Linear-search-free:
-  /// walks the implicit tree ordering. O(log N) expected via sorted lookup.
+  /// Cell containing point p (cells tile the grid). O(log cells): leaves
+  /// are stored in Morton (octant-recursion) order, so the containing cell
+  /// is the predecessor of p's interleaved key in the sorted key array.
   [[nodiscard]] const OctreeCell& cell_containing(const Index3& p) const;
 
  private:
   Octree(const Grid3& grid, const Box3& subdomain);  // for decode
   void build(const Index3& corner, i64 side, const SamplingPolicy& policy);
   void finalize_offsets();
+  /// Fill cell_keys_ with per-cell Morton corner keys (the binary-search
+  /// index behind cell_containing). No-op on non-pow2 grids, where
+  /// cell_containing falls back to a linear scan.
+  void build_lookup();
 
   Grid3 grid_;
   Box3 subdomain_;
   std::vector<OctreeCell> cells_;
+  std::vector<std::uint64_t> cell_keys_;
+  int levels_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -1,0 +1,89 @@
+// Separable row-based interpolation tables for CompressedField's
+// vectorized reconstruction engine.
+//
+// For a coarse octree cell (rate r > 1) the per-point work of trilinear /
+// Catmull-Rom interpolation factors per axis: the 4-tap weight vector of a
+// grid coordinate depends only on its phase (offset mod r) within the
+// retained lattice, plus a boundary degradation that depends on the base
+// sample index. An AxisTable materialises {base index, 4 weights} for every
+// coordinate of a cell/region overlap ONCE — per (rate, phase) the weights
+// are computed a single time and stamped across the range — replacing the
+// per-point div/mod + weight evaluation of the scalar path. The weights are
+// stored SoA (w0..w3 planes) so the x-axis kernel can run whole rows through
+// simd::row_weighted4_add with the 4 stencil values broadcast per base run.
+//
+// Weight semantics match CompressedField's scalar reference exactly:
+// w[j] multiplies the sample at lattice index base + j - 1 (j = 0..3);
+// trilinear and boundary-degraded cubic axes use {0, 1-f, f, 0}, interior
+// cubic axes the Catmull-Rom kernel. Zero-weight taps may index one sample
+// outside the lattice; consumers either skip them (y/z row gather) or pad
+// the gathered row with guard elements (x kernel), so the products are
+// exact zeros and the row engine reproduces the scalar result to rounding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "tensor/grid.hpp"
+
+namespace lc::sampling::detail {
+
+/// Catmull-Rom weights for fractional position t in [0, 1): taps -1..2.
+[[nodiscard]] inline std::array<double, 4> catmull_rom_weights(
+    double t) noexcept {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return {(-t3 + 2.0 * t2 - t) * 0.5, (3.0 * t3 - 5.0 * t2 + 2.0) * 0.5,
+          (-3.0 * t3 + 4.0 * t2 + t) * 0.5, (t3 - t2) * 0.5};
+}
+
+/// Per-axis interpolation table over one cell/region overlap range.
+struct AxisTable {
+  std::vector<std::int32_t> base;  ///< base sample index per coordinate
+  AlignedVector<double> w[4];      ///< SoA tap weights per coordinate
+
+  [[nodiscard]] std::size_t size() const noexcept { return base.size(); }
+
+  /// Build the table for grid coordinates [lo, hi) of a cell with the given
+  /// corner coordinate, rate and samples-per-edge e. `cubic` selects
+  /// Catmull-Rom on interior stencils (degrading to linear where the 4-tap
+  /// stencil would leave the lattice — same rule as the scalar reference).
+  void build(i64 lo, i64 hi, i64 corner, i64 rate, i64 e, bool cubic) {
+    const auto n = static_cast<std::size_t>(hi - lo);
+    base.resize(n);
+    for (auto& plane : w) plane.resize(n);
+
+    // One weight evaluation per (rate, phase), not per point.
+    const auto r = static_cast<std::size_t>(rate);
+    phase_cubic_.resize(r);
+    phase_linear_.resize(r);
+    const double inv_r = 1.0 / static_cast<double>(rate);
+    for (std::size_t ph = 0; ph < r; ++ph) {
+      const double f = static_cast<double>(ph) * inv_r;
+      phase_linear_[ph] = {0.0, 1.0 - f, f, 0.0};
+      phase_cubic_[ph] = cubic ? catmull_rom_weights(f) : phase_linear_[ph];
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const i64 off = (lo + static_cast<i64>(i)) - corner;
+      LC_ASSERT(off >= 0);
+      const i64 b = off / rate;
+      const auto ph = static_cast<std::size_t>(off - b * rate);
+      const bool interior = b >= 1 && b + 2 <= e - 1;
+      const auto& taps = interior ? phase_cubic_[ph] : phase_linear_[ph];
+      base[i] = static_cast<std::int32_t>(b);
+      for (int j = 0; j < 4; ++j) w[j][i] = taps[static_cast<std::size_t>(j)];
+    }
+  }
+
+ private:
+  // Scratch kept across build() calls so reuse over many cells of the same
+  // rate does not reallocate.
+  std::vector<std::array<double, 4>> phase_cubic_;
+  std::vector<std::array<double, 4>> phase_linear_;
+};
+
+}  // namespace lc::sampling::detail
