@@ -8,11 +8,13 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "massif/solver.hpp"
+#include "obs/cli.hpp"
 #include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lc;
   using namespace lc::massif;
+  const auto obs_cli = obs::ObsCli::parse(argc, argv);
 
   const auto soft = Phase::isotropic("matrix", 100.0, 0.3);
   const auto stiff = Phase::isotropic("inclusion", 200.0, 0.3);
@@ -37,9 +39,12 @@ int main() {
 
     DenseGreenBackend dense(g, ref);
     SymTensorField want(g);
-    Stopwatch sw_dense;
-    dense.apply(sig, want);
-    const double dense_ms = sw_dense.millis();
+    SecondsAccumulator dense_time;
+    {
+      ScopedTimer timer(dense_time);
+      dense.apply(sig, want);
+    }
+    const double dense_ms = dense_time.millis();
     // Traditional distributed FFT moves the whole 6-component spectrum
     // through two all-to-alls per transform direction pair.
     const std::size_t dense_bytes = 6 * 2 * sizeof(double) * g.size() * 2;
@@ -54,9 +59,12 @@ int main() {
     params.batch = 512;
     LowCommGreenBackend lowcomm(g, ref, params);
     SymTensorField got(g);
-    Stopwatch sw;
-    lowcomm.apply(sig, got);
-    const double ms = sw.millis();
+    SecondsAccumulator lowcomm_time;
+    {
+      ScopedTimer timer(lowcomm_time);
+      lowcomm.apply(sig, got);
+    }
+    const double ms = lowcomm_time.millis();
     table.row({std::to_string(n), "low-comm (Alg. 2)",
                std::to_string(params.subdomain), "4/4", format_fixed(ms, 1),
                format_fixed(got.relative_error_to(want) * 100.0, 2) + "%",
@@ -122,5 +130,6 @@ int main() {
         "Both use one Green convolution per iteration, so the CG scheme\n"
         "multiplies every communication saving by its iteration saving.");
   }
+  obs_cli.finish();
   return 0;
 }

@@ -21,11 +21,16 @@
 #include "common/timer.hpp"
 #include "core/hyperparams.hpp"
 #include "green/gaussian.hpp"
+#include "obs/cli.hpp"
 #include "runtime/service.hpp"
 
 int main(int argc, char** argv) {
   using namespace lc;
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const auto obs_cli = obs::ObsCli::parse(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
 
   const i64 n = 128;
   const i64 k = 32;
@@ -64,25 +69,24 @@ int main(int argc, char** argv) {
   struct Phase {
     const char* name;
     int requests = 0;
-    double total_ms = 0.0;
+    SecondsAccumulator time;  // ScopedTimer sink; replaces Stopwatch sums
   };
-  Phase cold{"cold"}, resource_warm{"resource-warm"}, warm{"warm"};
+  Phase cold{.name = "cold"}, resource_warm{.name = "resource-warm"},
+      warm{.name = "warm"};
 
   // --- cold: every request rebuilds the world -------------------------------
   for (int i = 0; i < cold_reps; ++i) {
     service.clear_caches();
-    Stopwatch sw;
+    ScopedTimer timer(cold.time);
     (void)service.run(request_with(variant(i)));
-    cold.total_ms += sw.millis();
     ++cold.requests;
   }
 
   // --- resource-warm: new content, hot plans/octrees/engines ----------------
   for (int i = 0; i < cold_reps; ++i) {
-    Stopwatch sw;
+    ScopedTimer timer(resource_warm.time);
     const auto response =
         service.run(request_with(variant(1000 + i)));
-    resource_warm.total_ms += sw.millis();
     ++resource_warm.requests;
     if (response.stats.result_cache_hit) {
       std::puts("unexpected result-cache hit in resource-warm phase");
@@ -93,9 +97,8 @@ int main(int argc, char** argv) {
   // --- warm: identical request, result cache answers ------------------------
   (void)service.run(request_with(variant(424242)));  // prime the entry
   for (int i = 0; i < warm_reps; ++i) {
-    Stopwatch sw;
+    ScopedTimer timer(warm.time);
     const auto response = service.run(request_with(variant(424242)));
-    warm.total_ms += sw.millis();
     ++warm.requests;
     if (!response.stats.result_cache_hit) {
       std::puts("expected a result-cache hit in warm phase");
@@ -104,7 +107,7 @@ int main(int argc, char** argv) {
   }
 
   const auto rps = [](const Phase& p) {
-    return p.total_ms > 0.0 ? 1e3 * p.requests / p.total_ms : 0.0;
+    return p.time.seconds > 0.0 ? p.requests / p.time.seconds : 0.0;
   };
   const double cold_rps = rps(cold);
 
@@ -115,7 +118,7 @@ int main(int argc, char** argv) {
                 "speedup vs cold"});
   for (const Phase* p : {&cold, &resource_warm, &warm}) {
     table.row({p->name, std::to_string(p->requests),
-               format_fixed(p->total_ms / p->requests, 2),
+               format_fixed(p->time.millis() / p->requests, 2),
                format_fixed(rps(*p), 2),
                format_fixed(rps(*p) / cold_rps, 2)});
   }
@@ -132,5 +135,6 @@ int main(int argc, char** argv) {
       "between: it still pays the convolution, but reuses every plan,\n"
       "octree, spectrum, and engine. Pass --full for more repetitions.\n",
       warm_speedup);
+  obs_cli.finish();
   return warm_speedup >= 2.0 ? 0 : 1;
 }

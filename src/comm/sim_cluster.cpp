@@ -1,9 +1,32 @@
 #include "comm/sim_cluster.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lc::comm {
+
+namespace {
+
+// Process-wide comm metrics, aggregated across clusters (the obs registry's
+// view; per-cluster and per-rank exactness lives in CommStats/RankCommStats).
+struct CommMetrics {
+  obs::Counter& bytes_sent =
+      obs::Registry::global().counter("comm.bytes_sent");
+  obs::Counter& messages = obs::Registry::global().counter("comm.messages");
+  obs::Histogram& barrier_wait = obs::Registry::global().histogram(
+      "comm.barrier_wait_seconds");
+
+  static CommMetrics& get() {
+    static CommMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 int Rank::size() const noexcept { return cluster_->size(); }
 
@@ -20,20 +43,32 @@ void Rank::send(int dst, std::span<const double> data) {
   cluster_->stats_.messages += 1;
   cluster_->stats_.modeled_nanos += static_cast<std::int64_t>(
       cluster_->link_.message_time(bytes) * 1e9);
+  auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
+  mine.bytes_sent += bytes;
+  mine.messages_sent += 1;
+  CommMetrics& metrics = CommMetrics::get();
+  metrics.bytes_sent.add(bytes);
+  metrics.messages.add();
 }
 
 std::vector<double> Rank::recv(int src) {
   LC_CHECK_ARG(src >= 0 && src < cluster_->size(), "bad source rank");
   auto& ch = cluster_->channel(src, id_);
-  std::unique_lock lock(ch.mutex);
-  ch.available.wait(lock, [&] {
-    return !ch.queue.empty() || cluster_->aborted_.load();
-  });
-  // Messages already delivered are still consumed; only an empty queue with
-  // a dead sender is hopeless.
-  if (ch.queue.empty()) cluster_->throw_if_aborted();
-  std::vector<double> out = std::move(ch.queue.front());
-  ch.queue.pop_front();
+  std::vector<double> out;
+  {
+    std::unique_lock lock(ch.mutex);
+    ch.available.wait(lock, [&] {
+      return !ch.queue.empty() || cluster_->aborted_.load();
+    });
+    // Messages already delivered are still consumed; only an empty queue
+    // with a dead sender is hopeless.
+    if (ch.queue.empty()) cluster_->throw_if_aborted();
+    out = std::move(ch.queue.front());
+    ch.queue.pop_front();
+  }
+  auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
+  mine.bytes_received += out.size() * sizeof(double);
+  mine.messages_received += 1;
   return out;
 }
 
@@ -89,20 +124,54 @@ double Rank::all_reduce_sum(double value) {
     c.stats_.bytes_sent += 2 * sizeof(double) * static_cast<std::size_t>(size());
     c.stats_.messages += 2 * static_cast<std::size_t>(size());
   }
+  // Attribute each rank's share of the synthetic tree traffic to itself.
+  auto& mine = c.per_rank_[static_cast<std::size_t>(id_)];
+  mine.bytes_sent += 2 * sizeof(double);
+  mine.bytes_received += 2 * sizeof(double);
+  mine.messages_sent += 2;
+  mine.messages_received += 2;
   barrier();
   return result;
 }
 
-void Rank::barrier() { cluster_->barrier_wait(); }
+void Rank::barrier() { cluster_->barrier_wait(id_); }
 
 SimCluster::SimCluster(int ranks, AlphaBetaModel link)
-    : ranks_(ranks), link_(link) {
+    : ranks_(ranks),
+      link_(link),
+      per_rank_(static_cast<std::size_t>(ranks)) {
   LC_CHECK_ARG(ranks >= 1, "cluster needs at least one rank");
   channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks) *
                                    static_cast<std::size_t>(ranks));
 }
 
-void SimCluster::barrier_wait() {
+RankCommStats SimCluster::rank_stats(int rank) const {
+  LC_CHECK_ARG(rank >= 0 && rank < ranks_, "bad rank");
+  const RankCounters& c = per_rank_[static_cast<std::size_t>(rank)];
+  RankCommStats out;
+  out.bytes_sent = c.bytes_sent.load();
+  out.bytes_received = c.bytes_received.load();
+  out.messages_sent = c.messages_sent.load();
+  out.messages_received = c.messages_received.load();
+  out.barrier_wait_seconds =
+      static_cast<double>(c.barrier_wait_ns.load()) * 1e-9;
+  return out;
+}
+
+void SimCluster::reset_stats() {
+  stats_.reset();
+  for (RankCounters& c : per_rank_) {
+    c.bytes_sent = 0;
+    c.bytes_received = 0;
+    c.messages_sent = 0;
+    c.messages_received = 0;
+    c.barrier_wait_ns = 0;
+  }
+}
+
+void SimCluster::barrier_wait(int rank) {
+  LC_TRACE("comm.barrier");
+  const auto entered = std::chrono::steady_clock::now();
   std::unique_lock lock(barrier_mutex_);
   throw_if_aborted();
   const std::uint64_t gen = barrier_generation_;
@@ -110,11 +179,18 @@ void SimCluster::barrier_wait() {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
-    return;
+  } else {
+    barrier_cv_.wait(lock, [&] {
+      return barrier_generation_ != gen || aborted_.load();
+    });
   }
-  barrier_cv_.wait(lock, [&] {
-    return barrier_generation_ != gen || aborted_.load();
-  });
+  lock.unlock();
+  const double waited = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - entered)
+                            .count();
+  per_rank_[static_cast<std::size_t>(rank)].barrier_wait_ns +=
+      static_cast<std::int64_t>(waited * 1e9);
+  CommMetrics::get().barrier_wait.record(waited);
   // A generation bump from abort_run also lands here; distinguish by flag
   // so ranks stop at THIS barrier instead of sailing into the next one.
   throw_if_aborted();

@@ -56,6 +56,17 @@ struct CommStats {
   }
 };
 
+/// Per-rank communication snapshot (SimCluster::rank_stats): who moved the
+/// bytes and who sat in barriers. Imbalance here is the load-balance signal
+/// the aggregate CommStats cannot show.
+struct RankCommStats {
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_received = 0;
+  double barrier_wait_seconds = 0.0;
+};
+
 class SimCluster;
 
 /// Per-rank handle passed to the rank body; provides point-to-point and
@@ -105,8 +116,10 @@ class SimCluster {
 
   [[nodiscard]] int size() const noexcept { return ranks_; }
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+  /// Per-rank counters accumulated since construction or reset_stats().
+  [[nodiscard]] RankCommStats rank_stats(int rank) const;
   [[nodiscard]] const AlphaBetaModel& link() const noexcept { return link_; }
-  void reset_stats() { stats_.reset(); }
+  void reset_stats();
 
   /// Execute `body(rank)` on every rank concurrently; rethrows the first
   /// exception any rank raised after all ranks finish or abort. When a rank
@@ -124,12 +137,21 @@ class SimCluster {
     std::deque<std::vector<double>> queue;
   };
 
+  // Atomic backing store for RankCommStats, one slot per rank.
+  struct RankCounters {
+    std::atomic<std::size_t> bytes_sent{0};
+    std::atomic<std::size_t> bytes_received{0};
+    std::atomic<std::size_t> messages_sent{0};
+    std::atomic<std::size_t> messages_received{0};
+    std::atomic<std::int64_t> barrier_wait_ns{0};
+  };
+
   Channel& channel(int src, int dst) {
     return channels_[static_cast<std::size_t>(src) *
                          static_cast<std::size_t>(ranks_) +
                      static_cast<std::size_t>(dst)];
   }
-  void barrier_wait();
+  void barrier_wait(int rank);
   void abort_run();
   void throw_if_aborted() const {
     if (aborted_.load()) throw RankAborted();
@@ -139,6 +161,7 @@ class SimCluster {
   AlphaBetaModel link_;
   std::vector<Channel> channels_;
   CommStats stats_;
+  std::vector<RankCounters> per_rank_;
 
   // Central barrier (generation-counted). `aborted_` is raised when a rank
   // body throws: every blocking wait (barrier, recv) re-checks it so peers

@@ -4,10 +4,28 @@
 #include <exception>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lc {
 
 namespace {
+
+// Pool-wide metrics (shared across pools: the global pool dominates and the
+// registry aggregates process-wide). queue_wait is the time a task sat in
+// tasks_ before a worker picked it up; busy_ns / tasks give utilization when
+// divided by workers × wall time.
+struct PoolMetrics {
+  obs::Histogram& queue_wait = obs::Registry::global().histogram(
+      "pool.queue_wait_seconds");
+  obs::Counter& tasks = obs::Registry::global().counter("pool.tasks");
+  obs::Counter& busy_ns = obs::Registry::global().counter("pool.busy_ns");
+
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
 
 // Which pool (if any) owns the current thread. Lets parallel_for_blocks
 // reject re-entrant calls from its own workers, which would otherwise
@@ -40,7 +58,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     LC_CHECK(!stopping_, "submit() on a stopping pool");
-    tasks_.push(std::move(task));
+    tasks_.push(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   task_available_.notify_one();
@@ -57,8 +75,9 @@ bool ThreadPool::on_worker_thread() const noexcept {
 
 void ThreadPool::worker_loop() {
   t_worker_of = this;
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -66,7 +85,18 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const auto picked_up = std::chrono::steady_clock::now();
+    metrics.queue_wait.record(
+        std::chrono::duration<double>(picked_up - task.enqueued).count());
+    {
+      LC_TRACE("pool.task");
+      task.fn();
+    }
+    metrics.tasks.add();
+    metrics.busy_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - picked_up)
+            .count()));
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

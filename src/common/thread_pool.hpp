@@ -5,6 +5,7 @@
 // nodes is modelled separately by comm::SimCluster.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -60,10 +61,17 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // Each queued task carries its enqueue time so the worker can account
+  // queue wait (obs metric "pool.queue_wait_seconds") when it picks it up.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable idle_;

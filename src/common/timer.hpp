@@ -26,4 +26,32 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// RAII timer: measures the enclosing scope and feeds the elapsed seconds
+/// to `sink.record(double)` on destruction. Any sink with that shape works
+/// — obs::Histogram for distributions, SecondsAccumulator for plain totals:
+///
+///   obs::Histogram latency;
+///   { ScopedTimer timer(latency); run_request(); }   // records once
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink& sink) noexcept : sink_(sink) {}
+  ~ScopedTimer() { sink_.record(watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Sink& sink_;
+  Stopwatch watch_;
+};
+
+/// Minimal ScopedTimer sink: running total of recorded seconds. Replaces
+/// the benches' `Stopwatch sw; ...; total += sw.seconds()` boilerplate.
+struct SecondsAccumulator {
+  double seconds = 0.0;
+  void record(double s) noexcept { seconds += s; }
+  [[nodiscard]] double millis() const noexcept { return seconds * 1e3; }
+};
+
 }  // namespace lc

@@ -1,12 +1,19 @@
 #include "core/accumulator.hpp"
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lc::core {
 
 RealField accumulate_region(
     const std::vector<sampling::CompressedField>& contributions,
     const Box3& region, sampling::Interpolation interp, ThreadPool* pool) {
+  LC_TRACE("accumulate.region");
+  static obs::Histogram& region_seconds =
+      obs::Registry::global().histogram("accumulate.region_seconds");
+  ScopedTimer region_timer(region_seconds);
   LC_CHECK_ARG(!region.empty(), "empty accumulation region");
   RealField out(region.extents(), 0.0);
   const Grid3 ext = region.extents();
@@ -16,6 +23,7 @@ RealField accumulate_region(
 
   // One z-slab of the region: a contiguous, exclusively-owned span of `out`.
   auto slab = [&](std::size_t zlo, std::size_t zhi) {
+    LC_TRACE("accumulate.slab");
     const Box3 tile{{region.lo.x, region.lo.y,
                      region.lo.z + static_cast<i64>(zlo)},
                     {region.hi.x, region.hi.y,

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lc::core {
 
@@ -52,6 +55,24 @@ std::vector<std::vector<std::pair<std::size_t, i64>>> cells_by_plane(
   return by_plane;
 }
 
+// Per-stage wall-time distributions ("convolver.stageN_seconds"): one
+// sample per convolve_channels call, so p95 across sub-domains/requests is
+// meaningful. The matching LC_TRACE spans give the same breakdown per call
+// in the Perfetto timeline.
+struct ConvolverMetrics {
+  obs::Histogram& stage1 = obs::Registry::global().histogram(
+      "convolver.stage1_seconds");
+  obs::Histogram& stage2 = obs::Registry::global().histogram(
+      "convolver.stage2_seconds");
+  obs::Histogram& stage3 = obs::Registry::global().histogram(
+      "convolver.stage3_seconds");
+
+  static ConvolverMetrics& get() {
+    static ConvolverMetrics m;
+    return m;
+  }
+};
+
 void run_blocks(ThreadPool* pool, std::size_t count,
                 const std::function<void(std::size_t, std::size_t,
                                          fft::FftWorkspace&)>& body) {
@@ -75,6 +96,7 @@ void run_blocks(ThreadPool* pool, std::size_t count,
 std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
     std::span<const RealField> chunks, const Index3& corner,
     std::shared_ptr<const sampling::Octree> tree) const {
+  LC_TRACE("convolver.convolve_channels");
   const std::size_t nchan = op_->channels();
   LC_CHECK_ARG(tree != nullptr, "null octree");
   LC_CHECK_ARG(tree->grid() == grid_, "octree grid != convolver grid");
@@ -136,9 +158,13 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
   };
 
   // --- Stage 1: zero-pad xy per slice, 2D transform into slabs ------------
+  {
+  LC_TRACE("convolver.stage1_xy");
+  ScopedTimer stage_timer(ConvolverMetrics::get().stage1);
   run_blocks(
       config_.pool, static_cast<std::size_t>(k) * nchan,
       [&](std::size_t lo, std::size_t hi, fft::FftWorkspace& ws) {
+        LC_TRACE("convolver.stage1.block");
         for (std::size_t job = lo; job < hi; ++job) {
           const std::size_t ch = job / static_cast<std::size_t>(k);
           const auto zl = static_cast<i64>(job % static_cast<std::size_t>(k));
@@ -159,6 +185,7 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
           fft_n_->forward_batch(plane, un, 1, un, ws);
         }
       });
+  }
 
   // --- Stage 2: batched z pencils with the per-bin operator ---------------
   // Staging needs no zero fill: every pencil writes every retained plane.
@@ -174,9 +201,13 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
 
   const std::size_t pencils = plane_elems;
   const std::size_t batches = (pencils + config_.batch - 1) / config_.batch;
+  {
+  LC_TRACE("convolver.stage2_z");
+  ScopedTimer stage_timer(ConvolverMetrics::get().stage2);
   run_blocks(
       config_.pool, batches,
       [&](std::size_t blo, std::size_t bhi, fft::FftWorkspace& ws) {
+        LC_TRACE("convolver.stage2.block");
         // Batch-major pencil scratch, layout [channel][pencil][z]:
         // channel ch of pencil p is the contiguous run
         // zbuf[(ch * config_.batch + p) * n .. +n). One lease per block.
@@ -218,14 +249,19 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
           }
         }
       });
+  }
   slab_lease.release();  // slab memory is dead after the z stage
 
   // --- Stage 3: per retained plane, 2D inverse + octree sampling ----------
   const auto by_plane = cells_by_plane(*tree);
   const auto cells = tree->cells();
+  {
+  LC_TRACE("convolver.stage3_planes");
+  ScopedTimer stage_timer(ConvolverMetrics::get().stage3);
   run_blocks(
       config_.pool, planes.size() * nchan,
       [&](std::size_t lo, std::size_t hi, fft::FftWorkspace& ws) {
+        LC_TRACE("convolver.stage3.block");
         for (std::size_t job = lo; job < hi; ++job) {
           const std::size_t ch = job / planes.size();
           const std::size_t i = job % planes.size();
@@ -252,6 +288,7 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
           }
         }
       });
+  }
 
   return results;
 }

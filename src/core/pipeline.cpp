@@ -5,8 +5,34 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lc::core {
+
+namespace {
+
+// End-to-end pipeline metrics: one "pipeline.convolve_seconds" sample per
+// convolve() call; the counters accumulate the compressed-exchange volume
+// the comm-volume report reads back per run.
+struct PipelineMetrics {
+  obs::Histogram& convolve_seconds = obs::Registry::global().histogram(
+      "pipeline.convolve_seconds");
+  obs::Counter& subdomains = obs::Registry::global().counter(
+      "pipeline.subdomains");
+  obs::Counter& compressed_samples = obs::Registry::global().counter(
+      "pipeline.compressed_samples");
+  obs::Counter& exchanged_bytes = obs::Registry::global().counter(
+      "pipeline.exchanged_bytes");
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 sampling::SamplingPolicy LowCommParams::make_policy() const {
   if (uniform_rate.has_value()) {
@@ -50,6 +76,7 @@ void LowCommConvolution::seed_octree(
 
 sampling::CompressedField LowCommConvolution::convolve_one(
     const RealField& input, std::size_t subdomain_index) const {
+  LC_TRACE("pipeline.subdomain");
   LC_CHECK_ARG(input.grid() == decomp_.grid(), "input grid mismatch");
   const Box3& box = decomp_.subdomain(subdomain_index);
   const RealField chunk = input.extract(box);
@@ -58,6 +85,8 @@ sampling::CompressedField LowCommConvolution::convolve_one(
 }
 
 LowCommResult LowCommConvolution::convolve(const RealField& input) const {
+  LC_TRACE("pipeline.convolve");
+  ScopedTimer convolve_timer(PipelineMetrics::get().convolve_seconds);
   const std::size_t count = decomp_.count();
   ThreadPool* pool = convolver_.config().pool;
   std::vector<std::optional<sampling::CompressedField>> slots(count);
@@ -85,6 +114,10 @@ LowCommResult LowCommConvolution::convolve(const RealField& input) const {
     bytes += slot->sample_bytes();
     contributions.push_back(std::move(*slot));
   }
+  PipelineMetrics& metrics = PipelineMetrics::get();
+  metrics.subdomains.add(count);
+  metrics.compressed_samples.add(samples);
+  metrics.exchanged_bytes.add(bytes);
   LowCommResult result{accumulate_full(contributions, decomp_.grid(),
                                        params_.interpolation, pool),
                        samples, bytes, 0.0};
@@ -211,33 +244,52 @@ RealField distributed_lowcomm_convolve(
     std::vector<CellDestMasks> local_masks;
     local.reserve(mine.size());
     local_masks.reserve(mine.size());
-    for (const std::size_t d : mine) {
-      local.push_back(engine.convolve_one(input, d));
-      local_masks.emplace_back(local.back().octree(), decomp, owner_of,
-                               workers);
+    {
+      LC_TRACE("exchange.local_convolve");
+      for (const std::size_t d : mine) {
+        local.push_back(engine.convolve_one(input, d));
+        local_masks.emplace_back(local.back().octree(), decomp, owner_of,
+                                 workers);
+      }
     }
 
     // The single global exchange of the method (Fig 1b): per destination,
     // only the cells whose boxes intersect that destination's regions.
     std::vector<std::vector<double>> outgoing(
         static_cast<std::size_t>(workers));
-    for (int dst = 0; dst < workers; ++dst) {
-      auto& buf = outgoing[static_cast<std::size_t>(dst)];
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        const auto cells = local[i].octree().cells();
-        const auto payload = local[i].samples();
-        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-          if (!local_masks[i].needed(ci, dst)) continue;
-          const auto s = payload.subspan(cells[ci].sample_offset,
-                                         cells[ci].sample_count());
-          buf.insert(buf.end(), s.begin(), s.end());
+    static obs::Counter& samples_shipped =
+        obs::Registry::global().counter("exchange.samples_shipped");
+    static obs::Counter& payload_bytes =
+        obs::Registry::global().counter("exchange.payload_bytes");
+    {
+      LC_TRACE("exchange.pack");
+      for (int dst = 0; dst < workers; ++dst) {
+        auto& buf = outgoing[static_cast<std::size_t>(dst)];
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          const auto cells = local[i].octree().cells();
+          const auto payload = local[i].samples();
+          for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+            if (!local_masks[i].needed(ci, dst)) continue;
+            const auto s = payload.subspan(cells[ci].sample_offset,
+                                           cells[ci].sample_count());
+            buf.insert(buf.end(), s.begin(), s.end());
+          }
+        }
+        if (dst != me) {
+          samples_shipped.add(buf.size());
+          payload_bytes.add(buf.size() * sizeof(double));
         }
       }
     }
-    const auto incoming = rank.all_to_all(outgoing);
+    std::vector<std::vector<double>> incoming;
+    {
+      LC_TRACE("exchange.all_to_all");
+      incoming = rank.all_to_all(outgoing);
+    }
 
     // Rebuild the partial remote contributions: cells not received stay
     // zero, but accumulation over my regions never reads them.
+    LC_TRACE("exchange.unpack_accumulate");
     std::vector<sampling::CompressedField> contributions;
     contributions.reserve(decomp.count());
     for (int src = 0; src < workers; ++src) {

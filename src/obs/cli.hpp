@@ -1,0 +1,75 @@
+// Shared --trace/--metrics/--prometheus flag handling for benches and
+// examples. Header-only so tools can adopt it without linking lc_obs.
+//
+//   auto obs_cli = lc::obs::ObsCli::parse(argc, argv);  // enables tracing
+//   ... run instrumented work ...
+//   obs_cli.finish();  // writes the requested files, prints their paths
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lc::obs {
+
+/// Parsed observability output options. Unknown arguments are ignored, so
+/// this composes with each tool's own flag handling.
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string prometheus_path;
+
+  static ObsCli parse(int argc, char** argv) {
+    ObsCli cli;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        cli.trace_path = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--metrics") == 0) {
+        cli.metrics_path = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--prometheus") == 0) {
+        cli.prometheus_path = argv[i + 1];
+      }
+    }
+    if (!cli.trace_path.empty()) Tracer::global().enable();
+    return cli;
+  }
+
+  /// Write whichever outputs were requested; report paths (and any dropped
+  /// trace events) on stdout.
+  void finish() const {
+    if (!trace_path.empty()) {
+      const Tracer& tracer = Tracer::global();
+      if (tracer.write_chrome_trace(trace_path)) {
+        std::printf("trace: %zu events -> %s (load at ui.perfetto.dev)\n",
+                    tracer.event_count(), trace_path.c_str());
+        if (tracer.dropped() > 0) {
+          std::printf("trace: %zu events dropped (per-thread buffer full)\n",
+                      tracer.dropped());
+        }
+      } else {
+        std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (Registry::global().write_json(metrics_path)) {
+        std::printf("metrics: %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: failed to write %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    if (!prometheus_path.empty()) {
+      if (Registry::global().write_prometheus(prometheus_path)) {
+        std::printf("metrics (prometheus): %s\n", prometheus_path.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: failed to write %s\n",
+                     prometheus_path.c_str());
+      }
+    }
+  }
+};
+
+}  // namespace lc::obs

@@ -1,0 +1,242 @@
+// Scoped-span tracer (observability layer, DESIGN.md §13).
+//
+// Design goals, in order: (1) negligible cost when disabled — one relaxed
+// atomic load and a branch per LC_TRACE site, or nothing at all when the
+// translation unit is compiled with -DLC_OBS_OFF; (2) thread-safe recording
+// with no locks on the hot path — each thread appends to its own bounded
+// buffer, published with a release store of the count so a concurrent
+// exporter reading with acquire sees fully-written slots only; (3) exact,
+// lossless export — buffers are append-only (never overwritten), so when a
+// buffer fills further events on that thread are counted as dropped rather
+// than racing the exporter.
+//
+// Export is Chrome trace-event JSON ("X" complete events): load the file at
+// https://ui.perfetto.dev (or chrome://tracing) to see per-thread nested
+// span tracks for the whole pipeline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lc::obs {
+
+/// One completed span, timestamps in nanoseconds since the tracer's epoch.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string (macro literal)
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+/// Process-wide tracer with per-thread append-only buffers.
+///
+/// Recording is wait-free: the owning thread writes the next slot and
+/// publishes it with a release store of the buffer count; no other thread
+/// ever writes a buffer. `snapshot()`/`render_chrome_trace()` may run
+/// concurrently with recording and see a consistent prefix of each thread's
+/// events. `clear()` must only be called while no spans are being recorded.
+class Tracer {
+ public:
+  /// Events retained per thread before further spans are dropped.
+  static constexpr std::size_t kBufferCapacity = std::size_t{1} << 16;
+
+  static Tracer& global() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer was constructed (monotonic clock).
+  [[nodiscard]] std::int64_t now_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Record a completed span. `name` must outlive the tracer (string
+  /// literals only). Safe from any thread; drops (and counts) the event if
+  /// this thread's buffer is full.
+  void record(const char* name, std::int64_t start_ns,
+              std::int64_t dur_ns) noexcept {
+    Buffer& buf = local_buffer();
+    const std::size_t i = buf.count.load(std::memory_order_relaxed);
+    if (i >= kBufferCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buf.slots[i] = TraceEvent{name, start_ns, dur_ns};
+    buf.count.store(i + 1, std::memory_order_release);
+  }
+
+  /// Total recorded events across all threads (consistent prefix).
+  [[nodiscard]] std::size_t event_count() const {
+    std::size_t total = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      total += buf->count.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  /// Events discarded because a thread's buffer was full.
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discard all recorded events. Only call while no thread is inside a
+  /// traced scope (e.g. between benchmark phases with the pool idle).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& buf : buffers_) {
+      buf->count.store(0, std::memory_order_release);
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Events recorded by one thread, in recording order.
+  struct ThreadEvents {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// Copy out every thread's published events.
+  [[nodiscard]] std::vector<ThreadEvents> snapshot() const {
+    std::vector<ThreadEvents> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(buffers_.size());
+    for (const auto& buf : buffers_) {
+      const std::size_t n = buf->count.load(std::memory_order_acquire);
+      ThreadEvents te;
+      te.tid = buf->tid;
+      te.events.assign(buf->slots.begin(),
+                       buf->slots.begin() + static_cast<std::ptrdiff_t>(n));
+      out.push_back(std::move(te));
+    }
+    return out;
+  }
+
+  /// Chrome trace-event JSON (Perfetto-loadable). Timestamps in
+  /// microseconds with nanosecond precision.
+  [[nodiscard]] std::string render_chrome_trace() const {
+    const std::vector<ThreadEvents> threads = snapshot();
+    std::string out;
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char line[256];
+    for (const ThreadEvents& te : threads) {
+      for (const TraceEvent& ev : te.events) {
+        std::snprintf(line, sizeof line,
+                      "%s\n{\"name\":\"%s\",\"cat\":\"lc\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                      first ? "" : ",", ev.name, te.tid,
+                      static_cast<double>(ev.start_ns) * 1e-3,
+                      static_cast<double>(ev.dur_ns) * 1e-3);
+        out += line;
+        first = false;
+      }
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Write the Chrome trace JSON to `path`. Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = render_chrome_trace();
+    const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = written == body.size() && std::fclose(f) == 0;
+    if (!ok && written != body.size()) std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct Buffer {
+    std::uint32_t tid = 0;
+    std::atomic<std::size_t> count{0};
+    std::vector<TraceEvent> slots;
+  };
+
+  Buffer& local_buffer() {
+    // One cached buffer per (thread, tracer). A thread touches at most a
+    // couple of tracers (the global one, plus test-local instances), so a
+    // linear scan over the cache is cheaper than any map.
+    thread_local std::vector<std::pair<const Tracer*, std::shared_ptr<Buffer>>>
+        cache;
+    for (const auto& [tracer, buf] : cache) {
+      if (tracer == this) return *buf;
+    }
+    auto buf = std::make_shared<Buffer>();
+    buf->slots.resize(kBufferCapacity);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buf->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+      buffers_.push_back(buf);
+    }
+    cache.emplace_back(this, buf);
+    return *buf;
+  }
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mutex_;
+  // shared_ptr keeps a buffer's events exportable after its thread exits.
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// RAII span against Tracer::global(): samples the clock on entry if the
+/// tracer is enabled, records the completed span on exit.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      name_ = name;
+      start_ns_ = tracer.now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::global();
+      tracer.record(name_, start_ns_, tracer.now_ns() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace lc::obs
+
+// LC_TRACE("stage.name"); — opens a span covering the rest of the enclosing
+// scope. Compiles to nothing under -DLC_OBS_OFF; otherwise costs one relaxed
+// load + branch when the tracer is disabled.
+#if defined(LC_OBS_OFF)
+#define LC_TRACE(name) \
+  do {                 \
+  } while (false)
+#else
+#define LC_OBS_CONCAT2(a, b) a##b
+#define LC_OBS_CONCAT(a, b) LC_OBS_CONCAT2(a, b)
+#define LC_TRACE(name) \
+  ::lc::obs::ScopedSpan LC_OBS_CONCAT(lc_trace_span_, __LINE__)(name)
+#endif

@@ -3,8 +3,31 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace lc::runtime {
+
+namespace {
+
+// Registry mirror of CacheStats, aggregated across ResourceCache instances
+// so `--metrics` snapshots show cache behaviour without plumbing a cache
+// handle to the exporter. Exact per-instance numbers stay in stats().
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry::global().counter("cache.hits");
+  obs::Counter& misses = obs::Registry::global().counter("cache.misses");
+  obs::Counter& evictions = obs::Registry::global().counter("cache.evictions");
+  obs::Counter& uncacheable =
+      obs::Registry::global().counter("cache.uncacheable");
+  obs::Gauge& bytes = obs::Registry::global().gauge("cache.bytes");
+  obs::Gauge& entries = obs::Registry::global().gauge("cache.entries");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ResourceCache::ResourceCache(Config config)
     : config_(config),
@@ -17,9 +40,11 @@ std::shared_ptr<const void> ResourceCache::peek(const std::string& key) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    CacheMetrics::get().misses.add();
     return nullptr;
   }
   ++stats_.hits;
+  CacheMetrics::get().hits.add();
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return it->second.value;
 }
@@ -33,6 +58,7 @@ std::shared_ptr<const void> ResourceCache::get_or_build_erased(
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
+      CacheMetrics::get().hits.add();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.value;
     }
@@ -50,10 +76,12 @@ std::shared_ptr<const void> ResourceCache::get_or_build_erased(
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
+      CacheMetrics::get().hits.add();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.value;
     }
     ++stats_.misses;
+    CacheMetrics::get().misses.add();
   }
 
   std::shared_ptr<const void> value = build();
@@ -65,6 +93,7 @@ std::shared_ptr<const void> ResourceCache::get_or_build_erased(
     std::lock_guard lock(mutex_);
     if (!insert_locked(key, value, bytes, doomed)) {
       ++stats_.uncacheable;
+      CacheMetrics::get().uncacheable.add();
     }
   }
   return value;
@@ -83,6 +112,10 @@ bool ResourceCache::insert_locked(
     stats_.bytes -= vit->second.bytes;
     --stats_.entries;
     ++stats_.evictions;
+    CacheMetrics& metrics = CacheMetrics::get();
+    metrics.evictions.add();
+    metrics.bytes.add(-static_cast<double>(vit->second.bytes));
+    metrics.entries.add(-1.0);
     if (config_.device != nullptr) {
       config_.device->register_free(vit->second.bytes);
     }
@@ -107,6 +140,9 @@ bool ResourceCache::insert_locked(
   map_.emplace(key, std::move(entry));
   stats_.bytes += bytes;
   ++stats_.entries;
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.bytes.add(static_cast<double>(bytes));
+  metrics.entries.add(1.0);
   return true;
 }
 
@@ -122,6 +158,9 @@ void ResourceCache::clear() {
   }
   map_.clear();
   lru_.clear();
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.bytes.add(-static_cast<double>(stats_.bytes));
+  metrics.entries.add(-static_cast<double>(stats_.entries));
   stats_.bytes = 0;
   stats_.entries = 0;
 }

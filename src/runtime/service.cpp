@@ -11,6 +11,7 @@
 #include "core/accumulator.hpp"
 #include "fft/fft1d.hpp"
 #include "green/kernel.hpp"
+#include "obs/trace.hpp"
 #include "sampling/octree.hpp"
 
 namespace lc::runtime {
@@ -94,17 +95,6 @@ std::size_t plan_bytes_estimate(std::size_t n) {
          3 * fft::next_pow2(2 * n) * sizeof(std::complex<double>);
 }
 
-double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  std::nth_element(samples.begin(),
-                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
-                   samples.end());
-  return samples[idx];
-}
-
-constexpr std::size_t kMaxSamples = 4096;  // sliding latency window
 constexpr std::size_t kOctreeBytesEstimate = 32 * 1024;
 
 }  // namespace
@@ -114,6 +104,7 @@ struct ConvolutionService::Job {
   ConvolutionRequest request;
   std::promise<ConvolutionResponse> promise;
   Clock::time_point enqueued;
+  std::int64_t enqueue_ns = 0;  // tracer clock at submit; 0 → tracing off
 
   // Filled in by run_wave.
   RequestStats stats;
@@ -182,6 +173,9 @@ std::future<ConvolutionResponse> ConvolutionService::submit(
   auto job = std::make_unique<Job>();
   job->request = std::move(request);
   job->enqueued = Clock::now();
+  if (obs::Tracer::global().enabled()) {
+    job->enqueue_ns = obs::Tracer::global().now_ns();
+  }
   auto future = job->promise.get_future();
   {
     std::lock_guard lock(mutex_);
@@ -319,17 +313,17 @@ ConvolutionService::engine_for(const ConvolutionRequest& request,
 }
 
 void ConvolutionService::run_wave(Wave& wave) {
+  LC_TRACE("service.wave");
   const Clock::time_point wave_start = Clock::now();
 
   // Admission bookkeeping + result-cache short-circuit, job by job.
+  {
+  LC_TRACE("service.admission");
   for (auto& job : wave.jobs) {
     job->picked_up = wave_start;
     job->stats.queue_seconds =
         std::chrono::duration<double>(wave_start - job->enqueued).count();
-    {
-      std::lock_guard lock(mutex_);
-      record_sample(queue_samples_, job->stats.queue_seconds);
-    }
+    queue_hist_.record(job->stats.queue_seconds);
     const auto& deadline = job->request.queue_deadline_seconds;
     if (deadline && job->stats.queue_seconds > *deadline) {
       std::lock_guard lock(mutex_);
@@ -372,8 +366,13 @@ void ConvolutionService::run_wave(Wave& wave) {
             std::lock_guard lock(mutex_);
             ++counters_.result_hits;
             ++counters_.completed;
-            record_sample(latency_samples_,
-                          job->stats.queue_seconds + job->stats.run_seconds);
+          }
+          latency_hist_.record(job->stats.queue_seconds +
+                               job->stats.run_seconds);
+          if (job->enqueue_ns != 0 && obs::Tracer::global().enabled()) {
+            obs::Tracer::global().record(
+                "service.request", job->enqueue_ns,
+                obs::Tracer::global().now_ns() - job->enqueue_ns);
           }
           job->respond(ConvolutionResponse{result, job->stats});
           continue;
@@ -407,6 +406,7 @@ void ConvolutionService::run_wave(Wave& wave) {
       job->fail(std::current_exception());
     }
   }
+  }  // service.admission
 
   // Flatten every live job's sub-domain work into one shared task list —
   // this is the wave: concurrently queued requests batch into a single
@@ -425,6 +425,7 @@ void ConvolutionService::run_wave(Wave& wave) {
   }
 
   const auto convolve_task = [&](std::size_t t) {
+    LC_TRACE("service.task");
     Task& task = tasks[t];
     Job& job = *task.job;
     const std::size_t d = job.subdomains[task.slot];
@@ -452,10 +453,13 @@ void ConvolutionService::run_wave(Wave& wave) {
   ThreadPool* pool = config_.pool;
   const bool can_parallel =
       pool != nullptr && pool->size() > 1 && !pool->on_worker_thread();
-  if (can_parallel && tasks.size() > 1) {
-    pool->parallel_for(0, tasks.size(), convolve_task);
-  } else {
-    for (std::size_t t = 0; t < tasks.size(); ++t) convolve_task(t);
+  {
+    LC_TRACE("service.convolve_wave");
+    if (can_parallel && tasks.size() > 1) {
+      pool->parallel_for(0, tasks.size(), convolve_task);
+    } else {
+      for (std::size_t t = 0; t < tasks.size(); ++t) convolve_task(t);
+    }
   }
   {
     std::lock_guard lock(mutex_);
@@ -521,10 +525,13 @@ void ConvolutionService::run_wave(Wave& wave) {
       job.task_errors[task.slot] = std::current_exception();
     }
   };
-  if (can_parallel && acc_tasks.size() > 1) {
-    pool->parallel_for(0, acc_tasks.size(), accumulate_task);
-  } else {
-    for (std::size_t t = 0; t < acc_tasks.size(); ++t) accumulate_task(t);
+  {
+    LC_TRACE("service.accumulate_wave");
+    if (can_parallel && acc_tasks.size() > 1) {
+      pool->parallel_for(0, acc_tasks.size(), accumulate_task);
+    } else {
+      for (std::size_t t = 0; t < acc_tasks.size(); ++t) accumulate_task(t);
+    }
   }
 
   // Deliver responses (and optionally memoise them).
@@ -575,19 +582,15 @@ void ConvolutionService::run_wave(Wave& wave) {
     {
       std::lock_guard lock(mutex_);
       ++counters_.completed;
-      record_sample(latency_samples_,
-                    job->stats.queue_seconds + job->stats.run_seconds);
+    }
+    latency_hist_.record(job->stats.queue_seconds + job->stats.run_seconds);
+    if (job->enqueue_ns != 0 && obs::Tracer::global().enabled()) {
+      obs::Tracer::global().record(
+          "service.request", job->enqueue_ns,
+          obs::Tracer::global().now_ns() - job->enqueue_ns);
     }
     job->respond(ConvolutionResponse{std::move(result), job->stats});
   }
-}
-
-void ConvolutionService::record_sample(std::vector<double>& buffer,
-                                       double value) {
-  if (buffer.size() >= kMaxSamples) {
-    buffer.erase(buffer.begin());  // sliding window; 4096 doubles, cheap
-  }
-  buffer.push_back(value);
 }
 
 ServiceStats ConvolutionService::stats() const {
@@ -595,11 +598,15 @@ ServiceStats ConvolutionService::stats() const {
   {
     std::lock_guard lock(mutex_);
     out = counters_;
-    out.queue_p50_seconds = percentile(queue_samples_, 0.50);
-    out.queue_p95_seconds = percentile(queue_samples_, 0.95);
-    out.latency_p50_seconds = percentile(latency_samples_, 0.50);
-    out.latency_p95_seconds = percentile(latency_samples_, 0.95);
   }
+  const obs::Histogram::Snapshot queue_snap = queue_hist_.snapshot();
+  const obs::Histogram::Snapshot latency_snap = latency_hist_.snapshot();
+  out.queue_p50_seconds = queue_snap.quantile(0.50);
+  out.queue_p95_seconds = queue_snap.quantile(0.95);
+  out.queue_p99_seconds = queue_snap.quantile(0.99);
+  out.latency_p50_seconds = latency_snap.quantile(0.50);
+  out.latency_p95_seconds = latency_snap.quantile(0.95);
+  out.latency_p99_seconds = latency_snap.quantile(0.99);
   out.cache = cache_.stats();
   out.arena = arena_.stats();
   out.device_used_bytes = device_.used_bytes();
@@ -630,8 +637,10 @@ TextTable ConvolutionService::stats_table() const {
   table.row({"arena reuse count", std::to_string(s.arena.reuses)});
   table.row({"queue wait p50 (s)", format_fixed(s.queue_p50_seconds, 4)});
   table.row({"queue wait p95 (s)", format_fixed(s.queue_p95_seconds, 4)});
+  table.row({"queue wait p99 (s)", format_fixed(s.queue_p99_seconds, 4)});
   table.row({"latency p50 (s)", format_fixed(s.latency_p50_seconds, 4)});
   table.row({"latency p95 (s)", format_fixed(s.latency_p95_seconds, 4)});
+  table.row({"latency p99 (s)", format_fixed(s.latency_p99_seconds, 4)});
   table.row({"device used", format_bytes_gb(
                                 static_cast<double>(s.device_used_bytes))});
   table.row({"device peak", format_bytes_gb(

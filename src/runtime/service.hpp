@@ -19,7 +19,8 @@
 //     parallel_for waves over one ThreadPool, and accumulates per-region
 //     tiles in a second wave;
 //   * per-request and service-wide statistics (queue wait, cache hit rate,
-//     arena bytes reused, p50/p95 latency) rendered via the table helpers.
+//     arena bytes reused, p50/p95/p99 latency via the obs histograms)
+//     rendered via the table helpers.
 #pragma once
 
 #include <future>
@@ -35,6 +36,7 @@
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
 #include "device/device.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/resource_cache.hpp"
 
 namespace lc::runtime {
@@ -121,8 +123,10 @@ struct ServiceStats {
   std::size_t wave_tasks = 0;        ///< sub-domain tasks across all waves
   double queue_p50_seconds = 0.0;
   double queue_p95_seconds = 0.0;
+  double queue_p99_seconds = 0.0;
   double latency_p50_seconds = 0.0;
   double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
   CacheStats cache;                  ///< resource-cache snapshot
   BufferArena::Stats arena;          ///< workspace-arena snapshot
   std::size_t device_used_bytes = 0;
@@ -178,14 +182,13 @@ class ConvolutionService {
   [[nodiscard]] std::shared_ptr<const core::LowCommConvolution> engine_for(
       const ConvolutionRequest& request, const std::string& engine_key,
       bool& cache_hit);
-  void record_sample(std::vector<double>& buffer, double value);
 
   ServiceConfig config_;
   device::DeviceContext device_;
   BufferArena arena_;
   ResourceCache cache_;
 
-  mutable std::mutex mutex_;  // queue + counters + sample buffers
+  mutable std::mutex mutex_;  // queue + counters
   std::condition_variable dispatch_cv_;
   std::condition_variable idle_cv_;
   std::vector<std::unique_ptr<Job>> queue_;
@@ -194,8 +197,11 @@ class ConvolutionService {
   std::size_t in_flight_ = 0;  // jobs picked up, response not yet delivered
 
   ServiceStats counters_;  // digest fields recomputed in stats()
-  std::vector<double> queue_samples_;
-  std::vector<double> latency_samples_;
+  // Per-instance latency histograms (not in the global registry: two
+  // services in one process must not pollute each other's digests).
+  // Lock-free record() — waves never take mutex_ just to log a sample.
+  obs::Histogram queue_hist_;
+  obs::Histogram latency_hist_;
 
   std::thread dispatcher_;
 };

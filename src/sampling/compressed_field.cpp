@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/simd.hpp"
+#include "obs/trace.hpp"
 #include "sampling/row_interp.hpp"
 
 namespace lc::sampling {
@@ -17,6 +18,7 @@ CompressedField::CompressedField(std::shared_ptr<const Octree> tree)
 
 CompressedField CompressedField::compress(const RealField& full,
                                           std::shared_ptr<const Octree> tree) {
+  LC_TRACE("sampling.compress");
   LC_CHECK_ARG(tree != nullptr, "null octree");
   LC_CHECK_ARG(full.grid() == tree->grid(), "field grid != octree grid");
   const Grid3& g = full.grid();
@@ -319,6 +321,7 @@ void CompressedField::reconstruct_add_scalar(std::span<double> out,
 void CompressedField::reconstruct_add_into(std::span<double> out,
                                            const Box3& region,
                                            Interpolation interp) const {
+  LC_TRACE("sampling.reconstruct_add");
 #if defined(LC_SIMD_SCALAR)
   reconstruct_add_scalar(out, region, interp);
 #else

@@ -1,0 +1,387 @@
+// Observability layer (DESIGN.md §13): log-bucketed histogram vs a
+// sorted-vector oracle, trace export + nesting under concurrent emitters,
+// and the measured-vs-model communication-volume accounting.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/sim_cluster.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+#include "obs/comm_volume.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/service.hpp"
+
+namespace {
+
+using namespace lc;
+
+// Nearest-rank quantile over the raw samples: the exact digest the
+// histogram approximates (one bucket is 2^(1/8) wide, so the bucket
+// midpoint is within ~4.5% of any sample inside it).
+double oracle_quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::clamp<std::size_t>(rank, 1, samples.size());
+  return samples[rank - 1];
+}
+
+// --- Histogram vs sorted-vector oracle -----------------------------------
+
+TEST(ObsHistogram, EmptySnapshotIsAllZero) {
+  obs::Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleIsExactAtEveryQuantile) {
+  obs::Histogram h;
+  h.record(3.7);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 3.7);
+  // min == max == 3.7, and quantiles clamp to [min, max].
+  for (const double q : {0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, QuantilesMatchSortedVectorOracle) {
+  obs::Histogram h;
+  std::vector<double> samples;
+  SplitMix64 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~7 decades: the latency-like regime the log
+    // bucketing is designed for.
+    const double v = std::pow(10.0, rng.uniform(-6.0, 1.0));
+    samples.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.count, samples.size());
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double want = oracle_quantile(samples, q);
+    const double got = s.quantile(q);
+    EXPECT_NEAR(got / want, 1.0, 0.06) << "q=" << q << " oracle=" << want
+                                       << " histogram=" << got;
+  }
+  EXPECT_NEAR(s.mean(),
+              std::accumulate(samples.begin(), samples.end(), 0.0) /
+                  static_cast<double>(samples.size()),
+              1e-9);
+}
+
+TEST(ObsHistogram, ExtremesLandInOverflowBucketsAndClamp) {
+  obs::Histogram h;
+  h.record(-1.0);     // non-positive → underflow bucket
+  h.record(1e-300);   // below 2^-40 → underflow bucket
+  h.record(1e300);    // above 2^40 → overflow bucket
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1e300);
+  // Quantiles in the extreme buckets report the exact extremes instead of
+  // a meaningless bucket midpoint.
+  EXPECT_DOUBLE_EQ(s.quantile(0.01), -1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1e300);
+}
+
+TEST(ObsHistogram, TracksCountSumMinMax) {
+  obs::Histogram h;
+  for (const double v : {0.25, 4.0, 1.0}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(ObsRegistry, ReferencesStayValidAcrossReset) {
+  auto& reg = obs::Registry::global();
+  obs::Counter& c = reg.counter("obs_test.stable_counter");
+  c.add(5);
+  EXPECT_EQ(&c, &reg.counter("obs_test.stable_counter"));
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the cached reference still feeds the same counter
+  EXPECT_EQ(reg.counter("obs_test.stable_counter").value(), 2u);
+}
+
+TEST(ObsRegistry, RendersJsonAndPrometheus) {
+  auto& reg = obs::Registry::global();
+  reg.counter("obs_test.render_counter").add(7);
+  reg.gauge("obs_test.render_gauge").set(1.5);
+  reg.histogram("obs_test.render_hist").record(0.125);
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"obs_test.render_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.render_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.render_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string prom = reg.render_prometheus();
+  EXPECT_NE(prom.find("lc_obs_test_render_counter 7"), std::string::npos);
+  EXPECT_NE(prom.find("lc_obs_test_render_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(ObsTrace, DisabledTracerRecordsNothingViaMacro) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  ASSERT_FALSE(tracer.enabled());
+  const std::size_t before = tracer.event_count();
+  { LC_TRACE("obs_test.disabled_span"); }
+  EXPECT_EQ(tracer.event_count(), before);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsWhenEnabled) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::size_t before = tracer.event_count();
+  tracer.enable();
+  { LC_TRACE("obs_test.enabled_span"); }
+  tracer.disable();
+  EXPECT_GE(tracer.event_count(), before + 1);
+}
+
+TEST(ObsTrace, FullBufferDropsAndCounts) {
+  obs::Tracer tracer;  // local instance: does not pollute the global one
+  const auto capacity = obs::Tracer::kBufferCapacity;
+  for (std::size_t i = 0; i < capacity + 100; ++i) {
+    tracer.record("obs_test.flood", static_cast<std::int64_t>(i), 1);
+  }
+  EXPECT_EQ(tracer.event_count(), capacity);
+  EXPECT_EQ(tracer.dropped(), 100u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// True when the spans of one thread form a properly nested forest (every
+// pair of spans is either disjoint or one contains the other).
+bool properly_nested(std::vector<obs::TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.start_ns + a.dur_ns > b.start_ns + b.dur_ns;
+            });
+  std::vector<std::int64_t> open_ends;
+  for (const auto& ev : events) {
+    const std::int64_t end = ev.start_ns + ev.dur_ns;
+    while (!open_ends.empty() && ev.start_ns >= open_ends.back()) {
+      open_ends.pop_back();
+    }
+    if (!open_ends.empty() && end > open_ends.back()) return false;
+    open_ends.push_back(end);
+  }
+  return true;
+}
+
+TEST(ObsTrace, ConcurrentEmittersNestPerThreadAndExportValidJson) {
+  obs::Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kOuter = 50;
+  constexpr int kInner = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kOuter; ++i) {
+        const std::int64_t outer_start = tracer.now_ns();
+        for (int j = 0; j < kInner; ++j) {
+          const std::int64_t inner_start = tracer.now_ns();
+          tracer.record("inner", inner_start,
+                        tracer.now_ns() - inner_start);
+        }
+        tracer.record("outer", outer_start, tracer.now_ns() - outer_start);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto per_thread = tracer.snapshot();
+  ASSERT_EQ(per_thread.size(), static_cast<std::size_t>(kThreads));
+  std::size_t total = 0;
+  for (const auto& te : per_thread) {
+    EXPECT_EQ(te.events.size(),
+              static_cast<std::size_t>(kOuter * (kInner + 1)));
+    EXPECT_TRUE(properly_nested(te.events)) << "tid=" << te.tid;
+    total += te.events.size();
+  }
+  EXPECT_EQ(total, tracer.event_count());
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  const std::string json = tracer.render_chrome_trace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Every event became exactly one line; the JSON closes cleanly.
+  std::size_t lines = 0;
+  for (std::string::size_type p = json.find("\"name\":");
+       p != std::string::npos; p = json.find("\"name\":", p + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, total);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+// --- ScopedTimer ----------------------------------------------------------
+
+TEST(ObsScopedTimer, RecordsIntoSinkOnDestruction) {
+  SecondsAccumulator acc;
+  {
+    ScopedTimer timer(acc);
+    double spin = 0.0;
+    for (int i = 0; i < 1000; ++i) spin += static_cast<double>(i);
+    volatile double sink = spin;
+    (void)sink;
+  }
+  EXPECT_GT(acc.seconds, 0.0);
+
+  obs::Histogram hist;
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(hist.snapshot().count, 1u);
+}
+
+// --- Communication volume vs the paper's model ----------------------------
+
+core::LowCommParams uniform_params(i64 k, i64 r) {
+  core::LowCommParams params;
+  params.subdomain = k;
+  params.far_rate = r;
+  params.uniform_rate = r;  // uniform exterior → Eqn 6 applies exactly
+  params.dense_halo = 0;
+  params.batch = 512;
+  return params;
+}
+
+TEST(ObsCommVolume, InteriorLatticeEqualsEqn6ForUniformRate) {
+  const Grid3 grid = Grid3::cube(64);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  core::LowCommConvolution engine(grid, kernel, uniform_params(16, 2));
+  const obs::CommVolumeReport rep = obs::measure_comm_volume(engine, 4);
+  EXPECT_EQ(rep.n, 64);
+  EXPECT_EQ(rep.k, 16);
+  EXPECT_DOUBLE_EQ(rep.r, 2.0);
+  EXPECT_NEAR(rep.unique_over_model(), 1.0, 1e-12);
+}
+
+TEST(ObsCommVolume, PayloadCarriesOnlyFaceOverheadAtSmallGrid) {
+  const Grid3 grid = Grid3::cube(64);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  core::LowCommConvolution engine(grid, kernel, uniform_params(16, 2));
+  const obs::CommVolumeReport rep = obs::measure_comm_volume(engine, 4);
+  // Edge-inclusive octree faces cost (s/r+1)³ vs (s/r)³ per cell: the
+  // measured payload must exceed the model, but by a bounded margin.
+  EXPECT_GT(rep.measured_over_model(), 1.0);
+  EXPECT_LT(rep.measured_over_model(), 1.35);
+  EXPECT_GT(rep.dense_bytes, 0.0);
+}
+
+TEST(ObsCommVolume, AcceptanceConfigAgreesWithModelWithinTenPercent) {
+  // The PR's acceptance configuration: N = 128, k = 32, uniform r = 2.
+  const Grid3 grid = Grid3::cube(128);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  core::LowCommConvolution engine(grid, kernel, uniform_params(32, 2));
+  const obs::CommVolumeReport rep = obs::measure_comm_volume(engine, 4);
+  EXPECT_TRUE(rep.within(0.10))
+      << "measured/model = " << rep.measured_over_model();
+  EXPECT_GT(rep.reduction_vs_dense(), 0.0);
+}
+
+TEST(ObsCommVolume, WireBytesMatchSimClusterMeasurement) {
+  const Grid3 grid = Grid3::cube(32);
+  const int ranks = 2;
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  const core::LowCommParams params = uniform_params(16, 2);
+
+  RealField input(grid);
+  SplitMix64 rng(11);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  comm::SimCluster cluster(ranks);
+  (void)core::distributed_lowcomm_convolve(cluster, input, grid, kernel,
+                                           params);
+  const std::size_t measured = cluster.stats().bytes_sent.load();
+
+  core::LowCommConvolution engine(grid, kernel, params);
+  EXPECT_EQ(measured, core::lowcomm_exchange_bytes(engine, ranks));
+
+  const obs::CommVolumeReport rep =
+      obs::measure_comm_volume(engine, ranks, measured);
+  EXPECT_EQ(rep.wire_bytes, measured);
+}
+
+TEST(ObsRankStats, PerRankCountersSumToAggregate) {
+  const Grid3 grid = Grid3::cube(32);
+  const int ranks = 4;
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+
+  RealField input(grid);
+  SplitMix64 rng(12);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  comm::SimCluster cluster(ranks);
+  (void)core::distributed_lowcomm_convolve(cluster, input, grid, kernel,
+                                           uniform_params(16, 2));
+
+  std::size_t bytes_sent = 0, bytes_received = 0;
+  std::size_t messages_sent = 0, messages_received = 0;
+  for (int rank = 0; rank < ranks; ++rank) {
+    const comm::RankCommStats rs = cluster.rank_stats(rank);
+    bytes_sent += rs.bytes_sent;
+    bytes_received += rs.bytes_received;
+    messages_sent += rs.messages_sent;
+    messages_received += rs.messages_received;
+    EXPECT_GE(rs.barrier_wait_seconds, 0.0);
+  }
+  EXPECT_EQ(bytes_sent, cluster.stats().bytes_sent.load());
+  EXPECT_EQ(bytes_sent, bytes_received);  // every send has one receiver
+  EXPECT_EQ(messages_sent, cluster.stats().messages.load());
+  EXPECT_EQ(messages_sent, messages_received);
+}
+
+// --- Service digests now come from the shared histogram -------------------
+
+TEST(ObsService, LatencyDigestsComeFromHistogram) {
+  runtime::ServiceConfig config;
+  config.cache_results = true;
+  runtime::ConvolutionService service(config);
+
+  const Grid3 grid = Grid3::cube(32);
+  RealField input(grid);
+  SplitMix64 rng(13);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  for (int i = 0; i < 3; ++i) {
+    runtime::ConvolutionRequest req;
+    req.input = input;
+    req.kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+    req.params = uniform_params(16, 2);
+    req.subdomain = 0;
+    (void)service.run(std::move(req));
+  }
+
+  const runtime::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GT(stats.latency_p50_seconds, 0.0);
+  EXPECT_LE(stats.latency_p50_seconds, stats.latency_p95_seconds);
+  EXPECT_LE(stats.latency_p95_seconds, stats.latency_p99_seconds);
+  EXPECT_GE(stats.queue_p99_seconds, stats.queue_p50_seconds);
+}
+
+}  // namespace

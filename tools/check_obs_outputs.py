@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate the observability outputs of an instrumented run.
+
+Usage:
+    check_obs_outputs.py TRACE_JSON METRICS_JSON [--report REPORT_JSON]
+                         [--tol 0.10]
+
+Checks, in order:
+  1. TRACE_JSON parses as Chrome trace-event JSON, contains every span the
+     pipeline is expected to emit, and the spans of each thread form a
+     properly nested forest (async request-lifetime events, which span
+     submit -> respond across wave boundaries, are exempt).
+  2. METRICS_JSON parses, and the cache / pool / comm counters that prove
+     each subsystem actually reported are present — with the comm-volume
+     counters strictly nonzero.
+  3. REPORT_JSON (optional) parses, and the measured payload agrees with
+     the Eqn 6 model within --tol (default 10%).
+
+Exit code 0 when everything holds; 1 with a message per violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SPANS = [
+    "pipeline.convolve",
+    "pipeline.subdomain",
+    "convolver.stage1_xy",
+    "convolver.stage2_z",
+    "convolver.stage3_planes",
+    "accumulate.region",
+    "exchange.local_convolve",
+    "exchange.all_to_all",
+    "exchange.unpack_accumulate",
+    "comm.barrier",
+    "service.wave",
+    "service.admission",
+    "service.request",
+]
+
+# Async spans measure a request's lifetime (submit -> respond), which
+# legitimately straddles the synchronous wave spans of the thread that
+# records them.
+ASYNC_SPANS = {"service.request"}
+
+REQUIRED_COUNTERS = [
+    "cache.hits",
+    "cache.misses",
+    "pool.tasks",
+    "comm.bytes_sent",
+    "comm.messages",
+    "exchange.payload_bytes",
+    "pipeline.compressed_samples",
+]
+
+NONZERO_COUNTERS = [
+    "comm.bytes_sent",
+    "comm.messages",
+    "exchange.payload_bytes",
+    "pipeline.compressed_samples",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "pipeline.convolve_seconds",
+    "convolver.stage1_seconds",
+    "convolver.stage2_seconds",
+    "convolver.stage3_seconds",
+    "accumulate.region_seconds",
+    "comm.barrier_wait_seconds",
+]
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_nesting(events, errors):
+    """Spans of one thread must form a forest: disjoint or fully nested."""
+    eps = 1e-6  # timestamps are microseconds with ns precision
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, evs in sorted(by_tid.items()):
+        evs.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        open_ends = []
+        for ev in evs:
+            end = ev["ts"] + ev["dur"]
+            while open_ends and ev["ts"] >= open_ends[-1] - eps:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1] + eps:
+                fail(
+                    errors,
+                    f"trace: tid {tid}: span '{ev['name']}' "
+                    f"[{ev['ts']:.3f}, {end:.3f}) overlaps but does not "
+                    f"nest inside its enclosing span (ends "
+                    f"{open_ends[-1]:.3f})",
+                )
+                return
+            open_ends.append(end)
+
+
+def check_trace(path, errors):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"trace: cannot load {path}: {e}")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, "trace: no traceEvents")
+        return
+    for ev in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(errors, f"trace: event missing '{key}': {ev}")
+                return
+        if ev["ph"] != "X":
+            fail(errors, f"trace: expected complete ('X') events, got {ev}")
+            return
+        if ev["dur"] < 0:
+            fail(errors, f"trace: negative duration: {ev}")
+            return
+    names = {ev["name"] for ev in events}
+    for required in REQUIRED_SPANS:
+        if required not in names:
+            fail(errors, f"trace: required span '{required}' never emitted")
+    check_nesting(
+        [ev for ev in events if ev["name"] not in ASYNC_SPANS], errors
+    )
+    print(f"trace: {len(events)} events, {len(names)} span names, "
+          f"{len({e['tid'] for e in events})} threads")
+
+
+def check_metrics(path, errors):
+    try:
+        with open(path) as f:
+            metrics = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"metrics: cannot load {path}: {e}")
+        return
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(errors, f"metrics: counter '{name}' missing")
+    for name in NONZERO_COUNTERS:
+        if counters.get(name, 0) == 0:
+            fail(errors, f"metrics: counter '{name}' is zero")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            fail(errors, f"metrics: histogram '{name}' missing")
+        elif histograms[name].get("count", 0) == 0:
+            fail(errors, f"metrics: histogram '{name}' recorded no samples")
+    # The cache must have seen traffic (hits OR misses — a cold run may
+    # have no hits, a fully warm one no misses).
+    if counters.get("cache.hits", 0) + counters.get("cache.misses", 0) == 0:
+        fail(errors, "metrics: cache counters saw no traffic")
+    print(f"metrics: {len(counters)} counters, {len(histograms)} histograms")
+
+
+def check_report(path, tol, errors):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"report: cannot load {path}: {e}")
+        return
+    for key in ("payload_bytes", "model_eqn6_bytes", "dense_eqn1_bytes",
+                "measured_over_model"):
+        if key not in report:
+            fail(errors, f"report: field '{key}' missing")
+            return
+    if report["payload_bytes"] <= 0:
+        fail(errors, "report: payload_bytes is zero")
+    ratio = report["measured_over_model"]
+    if not (1.0 - tol <= ratio <= 1.0 + tol):
+        fail(errors,
+             f"report: measured/model {ratio:.4f} outside +/-{tol:.0%}")
+    print(f"report: measured/model {ratio:.4f} (gate +/-{tol:.0%}), "
+          f"reduction vs dense {report.get('reduction_vs_dense', 0):.2f}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("metrics")
+    parser.add_argument("--report", default=None)
+    parser.add_argument("--tol", type=float, default=0.10)
+    args = parser.parse_args()
+
+    errors = []
+    check_trace(args.trace, errors)
+    check_metrics(args.metrics, errors)
+    if args.report:
+        check_report(args.report, args.tol, errors)
+
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if errors:
+        return 1
+    print("observability outputs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
