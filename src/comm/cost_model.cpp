@@ -1,8 +1,84 @@
 #include "comm/cost_model.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace lc::comm {
+
+namespace {
+
+std::size_t rounded(double bytes) {
+  return static_cast<std::size_t>(std::llround(bytes));
+}
+
+}  // namespace
+
+LevelTimes predict_exchange_times(const LevelTraffic& traffic,
+                                  const HierarchicalLinkModel& links) {
+  LevelTimes t;
+  t.intra_seconds =
+      static_cast<double>(traffic.intra_messages) * links.intra.alpha +
+      static_cast<double>(traffic.intra_bytes) * links.intra.beta;
+  t.inter_seconds =
+      static_cast<double>(traffic.inter_messages) * links.inter.alpha +
+      static_cast<double>(traffic.inter_bytes) * links.inter.beta;
+  return t;
+}
+
+LevelTraffic flat_exchange_traffic(int ranks, int ranks_per_node,
+                                   double bytes_per_rank) {
+  LC_CHECK_ARG(ranks >= 1 && ranks_per_node >= 1 && ranks_per_node <= ranks,
+               "bad cluster shape");
+  LC_CHECK_ARG(bytes_per_rank >= 0.0, "negative volume");
+  LevelTraffic t;
+  if (ranks == 1) return t;
+  const double p = static_cast<double>(ranks);
+  const double g = static_cast<double>(ranks_per_node);
+  const double m = bytes_per_rank / (p - 1.0);  // per destination rank
+  t.intra_messages = rounded(p * (g - 1.0));
+  t.intra_bytes = rounded(p * (g - 1.0) * m);
+  t.inter_messages = rounded(p * (p - g));
+  t.inter_bytes = rounded(p * (p - g) * m);
+  return t;
+}
+
+LevelTraffic hierarchical_exchange_traffic(int ranks, int ranks_per_node,
+                                           double bytes_per_rank,
+                                           double node_dedup) {
+  LC_CHECK_ARG(ranks >= 1 && ranks_per_node >= 1 && ranks_per_node <= ranks,
+               "bad cluster shape");
+  LC_CHECK_ARG(ranks % ranks_per_node == 0,
+               "model assumes uniform nodes (ranks %% ranks_per_node == 0)");
+  LC_CHECK_ARG(bytes_per_rank >= 0.0, "negative volume");
+  LC_CHECK_ARG(node_dedup >= 1.0, "dedup factor must be >= 1");
+  LevelTraffic t;
+  if (ranks == 1) return t;
+  const double p = static_cast<double>(ranks);
+  const double g = static_cast<double>(ranks_per_node);
+  const double nodes = p / g;
+  // Split of each rank's Eqn-6 volume between its own node and the rest,
+  // under the flat per-pair spread (the volume the routing re-arranges).
+  const double own_bundle = bytes_per_rank * (g - 1.0) / (p - 1.0);
+  const double remote = bytes_per_rank * (p - g) / (p - 1.0) / node_dedup;
+  // Own-node multicast: every rank hands its own-node bundle to each of its
+  // g−1 node peers directly.
+  t.intra_messages = rounded(p * (g - 1.0));
+  t.intra_bytes = rounded(p * (g - 1.0) * own_bundle);
+  // Gather: every non-leader funnels its whole remote share to the leader
+  // in one message.
+  t.intra_messages += rounded(nodes * (g - 1.0));
+  t.intra_bytes += rounded(nodes * (g - 1.0) * remote);
+  // Inter: one combined message per ordered node pair, carrying the g
+  // senders' (deduplicated) share for that destination node.
+  t.inter_messages = rounded(nodes * (nodes - 1.0));
+  t.inter_bytes = rounded(p * remote);
+  // Redistribute: the destination leader forwards each received bundle to
+  // its g−1 peers.
+  t.intra_messages += rounded(nodes * (nodes - 1.0) * (g - 1.0));
+  t.intra_bytes += rounded(nodes * (g - 1.0) * g * remote);
+  return t;
+}
 
 double traditional_fft_comm_time(i64 n, int workers,
                                  double beta_link_points_per_sec) {

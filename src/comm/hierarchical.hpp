@@ -1,0 +1,60 @@
+// Composed topology-aware collectives (ROADMAP item 1), built entirely from
+// Rank::send / Rank::recv point-to-point primitives in the ExaComm/HiCCL
+// style: a collective is a fixed schedule of striped intra-node and
+// inter-node phases (split → inter → intra) rather than a monolithic
+// primitive. Phasing for the personalised exchange:
+//
+//   split (intra):  every non-leader funnels its remote-bound payload to
+//                   its node leader in ONE message;
+//   inter:          leaders exchange ONE combined message per ordered node
+//                   pair — the expensive link is crossed exactly once per
+//                   pair, however many ranks share each node;
+//   intra:          the destination leader redistributes each received
+//                   bundle to its node peers; own-node payloads travel
+//                   directly between node-mates.
+//
+// Framing carries no metadata: SPMD callers are deterministic, so both
+// sides compute every bundle size from a shared size oracle (the same
+// "octrees are reproducible from (grid, params)" idiom the flat exchange
+// uses). All blocking waits sit in Rank::recv / barrier, so a peer failure
+// unwinds these collectives with RankAborted exactly like the built-ins.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/sim_cluster.hpp"
+#include "comm/topology.hpp"
+
+namespace lc::comm {
+
+/// Doubles rank `src` addresses to node `dst_node`. Must be a pure function
+/// of (src, dst_node) agreed by every rank.
+using NodeBundleSizes = std::function<std::size_t(int src, int dst_node)>;
+
+/// Doubles rank `src` addresses to rank `dst`. Must be a pure function of
+/// (src, dst) agreed by every rank.
+using PairSizes = std::function<std::size_t(int src, int dst)>;
+
+/// Node-multicast personalised exchange: `outgoing[d]` is this rank's
+/// bundle for node d, and EVERY rank of node d receives it (the caller
+/// packs a bundle once per destination node — the dedup that makes
+/// inter-node bytes drop below the flat per-rank exchange — and each
+/// receiver picks out the part it needs). Returns the received bundles
+/// indexed by SOURCE RANK: incoming[s] is rank s's bundle for this rank's
+/// node (incoming[id()] is the self bundle). Counts one collective round.
+[[nodiscard]] std::vector<std::vector<double>> node_multicast_exchange(
+    Rank& rank, const std::vector<std::vector<double>>& outgoing,
+    const NodeBundleSizes& bundle_doubles);
+
+/// Per-rank personalised all-to-all routed along the topology: a drop-in
+/// for Rank::all_to_all (same inputs, same outputs) that ships each node
+/// pair's traffic in one inter-node message instead of one per rank pair.
+/// Payload bytes on the inter link match the flat exchange (no dedup at
+/// per-rank granularity) but the message count falls from
+/// ranks²-ish to nodes², which is where the α term of Eqn 2 goes to die.
+[[nodiscard]] std::vector<std::vector<double>> hierarchical_all_to_all(
+    Rank& rank, const std::vector<std::vector<double>>& outgoing,
+    const PairSizes& pair_doubles);
+
+}  // namespace lc::comm

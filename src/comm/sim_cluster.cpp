@@ -30,6 +30,10 @@ struct CommMetrics {
 
 int Rank::size() const noexcept { return cluster_->size(); }
 
+const Topology& Rank::topology() const noexcept {
+  return cluster_->topology();
+}
+
 void Rank::send(int dst, std::span<const double> data) {
   LC_CHECK_ARG(dst >= 0 && dst < cluster_->size(), "bad destination rank");
   auto& ch = cluster_->channel(id_, dst);
@@ -39,13 +43,26 @@ void Rank::send(int dst, std::span<const double> data) {
   }
   ch.available.notify_one();
   const std::size_t bytes = data.size() * sizeof(double);
+  const bool inter_node = !cluster_->topo_.same_node(id_, dst);
   cluster_->stats_.bytes_sent += bytes;
   cluster_->stats_.messages += 1;
+  if (inter_node) {
+    cluster_->stats_.inter_bytes_sent += bytes;
+    cluster_->stats_.inter_messages += 1;
+  } else {
+    cluster_->stats_.intra_bytes_sent += bytes;
+    cluster_->stats_.intra_messages += 1;
+  }
   cluster_->stats_.modeled_nanos += static_cast<std::int64_t>(
-      cluster_->link_.message_time(bytes) * 1e9);
+      cluster_->links_.level(inter_node).message_time(bytes) * 1e9);
   auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
   mine.bytes_sent += bytes;
   mine.messages_sent += 1;
+  if (inter_node) {
+    mine.inter_bytes_sent += bytes;
+  } else {
+    mine.intra_bytes_sent += bytes;
+  }
   CommMetrics& metrics = CommMetrics::get();
   metrics.bytes_sent.add(bytes);
   metrics.messages.add();
@@ -66,8 +83,11 @@ std::vector<double> Rank::recv(int src) {
     out = std::move(ch.queue.front());
     ch.queue.pop_front();
   }
+  const std::size_t bytes = out.size() * sizeof(double);
+  cluster_->stats_.bytes_received += bytes;
+  cluster_->stats_.messages_received += 1;
   auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
-  mine.bytes_received += out.size() * sizeof(double);
+  mine.bytes_received += bytes;
   mine.messages_received += 1;
   return out;
 }
@@ -93,56 +113,96 @@ std::vector<std::vector<double>> Rank::all_to_all(
 }
 
 std::vector<std::vector<double>> Rank::all_gather(std::span<const double> mine) {
-  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(size()));
-  for (auto& buf : outgoing) buf.assign(mine.begin(), mine.end());
-  // all_gather = personalised all-to-all with identical payloads; reuse it
-  // (rounds are counted once inside).
-  return all_to_all(outgoing);
+  // Forwarding ring over rank ids: step s receives the buffer that
+  // originated s hops upstream and passes the previous one on. Each rank
+  // sends p−1 real messages to its successor only, so on a grouped
+  // topology the expensive inter-node link is crossed once per node per
+  // step (at the node boundary) instead of by every (src, dst) pair — and
+  // the byte/message/modelled accounting below is derived from the
+  // messages the ring actually moves, not borrowed from all_to_all.
+  const int p = size();
+  std::vector<std::vector<double>> incoming(static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(id_)].assign(mine.begin(), mine.end());
+  const int next = (id_ + 1) % p;
+  const int prev = (id_ + p - 1) % p;
+  std::vector<double> cur = incoming[static_cast<std::size_t>(id_)];
+  for (int step = 1; step < p; ++step) {
+    send(next, cur);
+    cur = recv(prev);
+    incoming[static_cast<std::size_t>((id_ + p - step) % p)] = cur;
+  }
+  if (id_ == 0) {
+    cluster_->stats_.collective_rounds += 1;
+    cluster_->stats_.allgather_rounds += 1;
+  }
+  barrier();
+  return incoming;
 }
 
 double Rank::all_reduce_sum(double value) {
   auto& c = *cluster_;
-  {
-    std::lock_guard lock(c.reduce_mutex_);
-    if (c.reduce_count_ == 0) c.reduce_acc_ = 0.0;
-    c.reduce_acc_ += value;
-    c.reduce_count_ += 1;
-    if (c.reduce_count_ == c.size()) {
-      c.reduce_result_ = c.reduce_acc_;
-      c.reduce_count_ = 0;
-    }
-  }
+  // Deterministic rank-ordered reduction: publish into my slot, wait for
+  // everyone, then sum the slots in rank order. The sum every rank computes
+  // is the same fixed-order sequence of additions no matter which thread
+  // arrived first, so results are bit-identical run to run (the old
+  // arrival-order accumulator was not). The barriers carry the
+  // happens-before edges for the plain slot writes; the trailing barrier
+  // keeps a fast rank's next reduction from overwriting a slot a slow rank
+  // is still reading.
+  c.reduce_slots_[static_cast<std::size_t>(id_)] = value;
   barrier();
-  double result;
-  {
-    std::lock_guard lock(c.reduce_mutex_);
-    result = c.reduce_result_;
+  double result = 0.0;
+  for (int r = 0; r < c.size(); ++r) {
+    result += c.reduce_slots_[static_cast<std::size_t>(r)];
   }
   if (id_ == 0) {
     c.stats_.collective_rounds += 1;
     // A tree reduction moves one double per rank (up and down).
     c.stats_.bytes_sent += 2 * sizeof(double) * static_cast<std::size_t>(size());
     c.stats_.messages += 2 * static_cast<std::size_t>(size());
+    c.stats_.bytes_received +=
+        2 * sizeof(double) * static_cast<std::size_t>(size());
+    c.stats_.messages_received += 2 * static_cast<std::size_t>(size());
   }
-  // Attribute each rank's share of the synthetic tree traffic to itself.
+  // Attribute each rank's share of the synthetic tree traffic to itself:
+  // non-leaders reduce to their node leader (intra); leaders combine across
+  // nodes (inter). On a flat topology every rank is a leader, so the whole
+  // synthetic volume is inter-node, as before the topology existed.
+  const bool crosses_nodes = c.topo_.is_leader(id_);
   auto& mine = c.per_rank_[static_cast<std::size_t>(id_)];
   mine.bytes_sent += 2 * sizeof(double);
   mine.bytes_received += 2 * sizeof(double);
   mine.messages_sent += 2;
   mine.messages_received += 2;
+  if (crosses_nodes) {
+    mine.inter_bytes_sent += 2 * sizeof(double);
+    c.stats_.inter_bytes_sent += 2 * sizeof(double);
+    c.stats_.inter_messages += 2;
+  } else {
+    mine.intra_bytes_sent += 2 * sizeof(double);
+    c.stats_.intra_bytes_sent += 2 * sizeof(double);
+    c.stats_.intra_messages += 2;
+  }
   barrier();
   return result;
 }
 
 void Rank::barrier() { cluster_->barrier_wait(id_); }
 
+void Rank::collective_round() { cluster_->stats_.collective_rounds += 1; }
+
+// Topology::flat rejects ranks < 1 for us.
 SimCluster::SimCluster(int ranks, AlphaBetaModel link)
-    : ranks_(ranks),
-      link_(link),
-      per_rank_(static_cast<std::size_t>(ranks)) {
-  LC_CHECK_ARG(ranks >= 1, "cluster needs at least one rank");
-  channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks) *
-                                   static_cast<std::size_t>(ranks));
+    : SimCluster(Topology::flat(ranks), HierarchicalLinkModel::uniform(link)) {}
+
+SimCluster::SimCluster(Topology topo, HierarchicalLinkModel links)
+    : ranks_(topo.ranks()),
+      topo_(std::move(topo)),
+      links_(links),
+      per_rank_(static_cast<std::size_t>(ranks_)),
+      reduce_slots_(static_cast<std::size_t>(ranks_), 0.0) {
+  channels_ = std::vector<Channel>(static_cast<std::size_t>(ranks_) *
+                                   static_cast<std::size_t>(ranks_));
 }
 
 RankCommStats SimCluster::rank_stats(int rank) const {
@@ -153,6 +213,8 @@ RankCommStats SimCluster::rank_stats(int rank) const {
   out.bytes_received = c.bytes_received.load();
   out.messages_sent = c.messages_sent.load();
   out.messages_received = c.messages_received.load();
+  out.intra_bytes_sent = c.intra_bytes_sent.load();
+  out.inter_bytes_sent = c.inter_bytes_sent.load();
   out.barrier_wait_seconds =
       static_cast<double>(c.barrier_wait_ns.load()) * 1e-9;
   return out;
@@ -165,6 +227,8 @@ void SimCluster::reset_stats() {
     c.bytes_received = 0;
     c.messages_sent = 0;
     c.messages_received = 0;
+    c.intra_bytes_sent = 0;
+    c.inter_bytes_sent = 0;
     c.barrier_wait_ns = 0;
   }
 }
@@ -243,11 +307,8 @@ void SimCluster::run(const std::function<void(Rank&)>& body) {
       std::lock_guard lock(barrier_mutex_);
       barrier_waiting_ = 0;
     }
-    {
-      std::lock_guard lock(reduce_mutex_);
-      reduce_count_ = 0;
-      reduce_acc_ = 0.0;
-    }
+    // (Reduction slots need no reset: every reduction rewrites all slots
+    // before any rank reads them.)
     for (auto& ch : channels_) {
       std::lock_guard lock(ch.mutex);
       ch.queue.clear();

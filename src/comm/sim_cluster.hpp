@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
 #include "common/check.hpp"
 
 namespace lc::comm {
@@ -41,17 +42,52 @@ class RankAborted : public Error {
 struct CommStats {
   std::atomic<std::size_t> bytes_sent{0};
   std::atomic<std::size_t> messages{0};
+  // Receive-side mirrors of the counters above. Every delivered message is
+  // counted on both sides, so `bytes_received == bytes_sent` and
+  // `messages_received == messages` once a run has drained its channels —
+  // an invariant the tests assert (historically only RankCommStats had the
+  // receive side, so the cluster totals could not be cross-checked).
+  std::atomic<std::size_t> bytes_received{0};
+  std::atomic<std::size_t> messages_received{0};
   std::atomic<std::size_t> collective_rounds{0};
+  // All-gather collectives counted separately: since the ring rewrite they
+  // execute (and are priced as) their own algorithm, not a personalised
+  // all-to-all.
+  std::atomic<std::size_t> allgather_rounds{0};
+  // Per-level split of bytes_sent / messages by the cluster topology:
+  // intra + inter == total always. On a flat topology (every rank its own
+  // node) all traffic is inter-node.
+  std::atomic<std::size_t> intra_bytes_sent{0};
+  std::atomic<std::size_t> inter_bytes_sent{0};
+  std::atomic<std::size_t> intra_messages{0};
+  std::atomic<std::size_t> inter_messages{0};
   std::atomic<std::int64_t> modeled_nanos{0};
 
   [[nodiscard]] double modeled_seconds() const {
     return static_cast<double>(modeled_nanos.load()) * 1e-9;
   }
 
+  /// Per-level byte/message totals as a cost-model traffic record.
+  [[nodiscard]] LevelTraffic level_traffic() const {
+    LevelTraffic t;
+    t.intra_bytes = intra_bytes_sent.load();
+    t.inter_bytes = inter_bytes_sent.load();
+    t.intra_messages = intra_messages.load();
+    t.inter_messages = inter_messages.load();
+    return t;
+  }
+
   void reset() {
     bytes_sent = 0;
     messages = 0;
+    bytes_received = 0;
+    messages_received = 0;
     collective_rounds = 0;
+    allgather_rounds = 0;
+    intra_bytes_sent = 0;
+    inter_bytes_sent = 0;
+    intra_messages = 0;
+    inter_messages = 0;
     modeled_nanos = 0;
   }
 };
@@ -64,6 +100,9 @@ struct RankCommStats {
   std::size_t bytes_received = 0;
   std::size_t messages_sent = 0;
   std::size_t messages_received = 0;
+  /// Per-level split of bytes_sent (intra + inter == bytes_sent).
+  std::size_t intra_bytes_sent = 0;
+  std::size_t inter_bytes_sent = 0;
   double barrier_wait_seconds = 0.0;
 };
 
@@ -75,6 +114,8 @@ class Rank {
  public:
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] int size() const noexcept;
+  /// Node grouping of the cluster this rank belongs to.
+  [[nodiscard]] const Topology& topology() const noexcept;
 
   /// Send a copy of `data` to rank `dst` (non-blocking, buffered).
   void send(int dst, std::span<const double> data);
@@ -89,15 +130,27 @@ class Rank {
       const std::vector<std::vector<double>>& outgoing);
 
   /// All-gather: everyone receives every rank's buffer, indexed by source.
-  /// Counts one collective round.
+  /// Executed as a forwarding ring over rank ids (each rank talks only to
+  /// its neighbours, so on a grouped topology only the node-boundary links
+  /// carry inter-node traffic), with its own round accounting
+  /// (CommStats::allgather_rounds) rather than the personalised
+  /// all-to-all's. Counts one collective round.
   [[nodiscard]] std::vector<std::vector<double>> all_gather(
       std::span<const double> mine);
 
-  /// Sum-reduction visible on all ranks. Counts one collective round.
+  /// Sum-reduction visible on all ranks. Deterministic: every rank sums the
+  /// per-rank contributions in rank order, so the floating-point result is
+  /// bit-identical run to run regardless of thread arrival order. Counts
+  /// one collective round.
   [[nodiscard]] double all_reduce_sum(double value);
 
   /// Synchronisation barrier.
   void barrier();
+
+  /// Count one collective round in the cluster stats. For collectives
+  /// composed from send/recv outside this class (comm/hierarchical.hpp);
+  /// call from exactly one rank per round.
+  void collective_round();
 
  private:
   friend class SimCluster;
@@ -111,14 +164,27 @@ class Rank {
 /// bodies; stats accumulate until reset.
 class SimCluster {
  public:
-  /// `link` prices each message for the modelled-time counter (Eqn 2).
+  /// Flat cluster (every rank its own node): `link` prices each message for
+  /// the modelled-time counter (Eqn 2) at both levels.
   explicit SimCluster(int ranks, AlphaBetaModel link = {});
 
+  /// Hierarchical cluster: ranks grouped into nodes by `topo`, messages
+  /// classified (and priced) per link level by whether source and
+  /// destination share a node.
+  SimCluster(Topology topo, HierarchicalLinkModel links = {});
+
   [[nodiscard]] int size() const noexcept { return ranks_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
   /// Per-rank counters accumulated since construction or reset_stats().
   [[nodiscard]] RankCommStats rank_stats(int rank) const;
-  [[nodiscard]] const AlphaBetaModel& link() const noexcept { return link_; }
+  /// The inter-node (flat-cluster) link model — legacy accessor.
+  [[nodiscard]] const AlphaBetaModel& link() const noexcept {
+    return links_.inter;
+  }
+  [[nodiscard]] const HierarchicalLinkModel& links() const noexcept {
+    return links_;
+  }
   void reset_stats();
 
   /// Execute `body(rank)` on every rank concurrently; rethrows the first
@@ -143,6 +209,8 @@ class SimCluster {
     std::atomic<std::size_t> bytes_received{0};
     std::atomic<std::size_t> messages_sent{0};
     std::atomic<std::size_t> messages_received{0};
+    std::atomic<std::size_t> intra_bytes_sent{0};
+    std::atomic<std::size_t> inter_bytes_sent{0};
     std::atomic<std::int64_t> barrier_wait_ns{0};
   };
 
@@ -158,7 +226,8 @@ class SimCluster {
   }
 
   int ranks_;
-  AlphaBetaModel link_;
+  Topology topo_;
+  HierarchicalLinkModel links_;
   std::vector<Channel> channels_;
   CommStats stats_;
   std::vector<RankCounters> per_rank_;
@@ -173,13 +242,12 @@ class SimCluster {
   std::uint64_t barrier_generation_ = 0;
   std::atomic<bool> aborted_{false};
 
-  // Reduction scratch, guarded by reduce_mutex_ (accumulation AND the
-  // post-barrier result read — the read is cheap and keeps the slot's
-  // ownership story trivially checkable by TSAN).
-  std::mutex reduce_mutex_;
-  double reduce_acc_ = 0.0;
-  int reduce_count_ = 0;
-  double reduce_result_ = 0.0;
+  // Reduction scratch: one slot per rank. Each rank writes only its own
+  // slot before the pre-read barrier and every rank sums the slots in rank
+  // order between the two barriers, so the result is deterministic
+  // (bit-identical across runs) and the barriers provide the
+  // happens-before edges — no mutex, no arrival-order dependence.
+  std::vector<double> reduce_slots_;
 };
 
 }  // namespace lc::comm

@@ -1,0 +1,24 @@
+#include "comm/topology.hpp"
+
+namespace lc::comm {
+
+Topology Topology::flat(int ranks) { return grouped(ranks, 1); }
+
+Topology Topology::grouped(int ranks, int ranks_per_node) {
+  LC_CHECK_ARG(ranks >= 1, "topology needs at least one rank");
+  LC_CHECK_ARG(ranks_per_node >= 1 && ranks_per_node <= ranks,
+               "node size must be in [1, ranks]");
+  Topology t;
+  t.node_of_.resize(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const int node = r / ranks_per_node;
+    t.node_of_[static_cast<std::size_t>(r)] = node;
+    if (static_cast<std::size_t>(node) == t.members_.size()) {
+      t.members_.emplace_back();
+    }
+    t.members_.back().push_back(r);
+  }
+  return t;
+}
+
+}  // namespace lc::comm

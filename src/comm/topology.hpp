@@ -1,0 +1,75 @@
+// Cluster topology: ranks grouped into "nodes" (ROADMAP item 1).
+//
+// Real clusters are hierarchical — cores share a NUMA domain, NUMA domains
+// share a node, nodes share a rack — and the links differ by orders of
+// magnitude at each level. The flat SimCluster prices every message with
+// one α-β pair; Topology records which ranks share a node so point-to-point
+// traffic can be classified (and priced) per level, and so composed
+// collectives (comm/hierarchical.hpp) can route payloads along the
+// hierarchy: intra-node links are cheap, so data destined for a remote node
+// is funnelled through one "leader" rank per node and crosses the expensive
+// inter-node link exactly once per node pair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lc::comm {
+
+/// Two-level rank grouping: every rank belongs to exactly one node; the
+/// lowest rank of each node is its leader. A "flat" topology (one rank per
+/// node) makes every link inter-node, which reproduces the pre-topology
+/// SimCluster behaviour exactly.
+class Topology {
+ public:
+  /// Every rank is its own node: all traffic is inter-node.
+  [[nodiscard]] static Topology flat(int ranks);
+
+  /// Contiguous blocks of `ranks_per_node` ranks per node ([0..g-1] on node
+  /// 0, [g..2g-1] on node 1, ...). `ranks` need not divide evenly; the last
+  /// node holds the remainder.
+  [[nodiscard]] static Topology grouped(int ranks, int ranks_per_node);
+
+  [[nodiscard]] int ranks() const noexcept {
+    return static_cast<int>(node_of_.size());
+  }
+  [[nodiscard]] int nodes() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] bool is_flat() const noexcept { return nodes() == ranks(); }
+
+  [[nodiscard]] int node_of(int rank) const {
+    LC_CHECK_ARG(rank >= 0 && rank < ranks(), "bad rank");
+    return node_of_[static_cast<std::size_t>(rank)];
+  }
+  /// Lowest rank of `node` — the rank that talks to other nodes on behalf
+  /// of its peers in the composed collectives.
+  [[nodiscard]] int leader_of(int node) const {
+    return members(node).front();
+  }
+  [[nodiscard]] bool is_leader(int rank) const {
+    return leader_of(node_of(rank)) == rank;
+  }
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return node_of(a) == node_of(b);
+  }
+  /// Ranks of `node`, ascending.
+  [[nodiscard]] std::span<const int> members(int node) const {
+    LC_CHECK_ARG(node >= 0 && node < nodes(), "bad node");
+    return members_[static_cast<std::size_t>(node)];
+  }
+
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.node_of_ == b.node_of_;
+  }
+
+ private:
+  Topology() = default;
+
+  std::vector<int> node_of_;
+  std::vector<std::vector<int>> members_;
+};
+
+}  // namespace lc::comm

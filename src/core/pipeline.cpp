@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "comm/hierarchical.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
@@ -185,6 +186,56 @@ std::vector<int> invert_assignment(
   return owner_of;
 }
 
+/// Sub-domain owners at node granularity: CellDestMasks built over this
+/// (with workers = topo.nodes()) answers "which NODES need this cell" —
+/// the union over each node's member ranks that drives the per-node packing
+/// dedup of the hierarchical route.
+std::vector<int> node_owner_of(const std::vector<int>& owner_of,
+                               const comm::Topology& topo) {
+  std::vector<int> node_of(owner_of.size());
+  for (std::size_t d = 0; d < owner_of.size(); ++d) {
+    node_of[d] = topo.node_of(owner_of[d]);
+  }
+  return node_of;
+}
+
+/// sizes[src][D] = doubles rank src ships to node D under node-granularity
+/// packing. Every rank computes the full table from the deterministic
+/// octrees — this is the size oracle that frames the hierarchical exchange
+/// without any metadata crossing the wire.
+std::vector<std::vector<std::size_t>> node_bundle_sizes(
+    const LowCommConvolution& engine,
+    const std::vector<std::vector<std::size_t>>& owned,
+    const std::vector<int>& node_owners, const comm::Topology& topo) {
+  const auto& decomp = engine.decomposition();
+  const int nodes = topo.nodes();
+  std::vector<std::vector<std::size_t>> sizes(
+      owned.size(),
+      std::vector<std::size_t>(static_cast<std::size_t>(nodes), 0));
+  for (std::size_t src = 0; src < owned.size(); ++src) {
+    for (const std::size_t d : owned[src]) {
+      const auto tree = engine.octree_for(d);
+      const CellDestMasks masks(*tree, decomp, node_owners, nodes);
+      const auto cells = tree->cells();
+      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        for (int n = 0; n < nodes; ++n) {
+          if (masks.needed(ci, n)) {
+            sizes[src][static_cast<std::size_t>(n)] +=
+                cells[ci].sample_count();
+          }
+        }
+      }
+    }
+  }
+  return sizes;
+}
+
+bool routes_hierarchically(ExchangeRoute route, const comm::Topology& topo) {
+  if (route == ExchangeRoute::kFlat) return false;
+  if (route == ExchangeRoute::kHierarchical) return true;
+  return !topo.is_flat();
+}
+
 }  // namespace
 
 std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
@@ -211,11 +262,112 @@ std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
   return bytes;
 }
 
+comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
+                                            const comm::Topology& topo,
+                                            ExchangeRoute route) {
+  const auto& decomp = engine.decomposition();
+  const int workers = topo.ranks();
+  std::vector<std::vector<std::size_t>> owned(
+      static_cast<std::size_t>(workers));
+  for (int r = 0; r < workers; ++r) {
+    owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
+  }
+  const std::vector<int> owner_of = invert_assignment(decomp, owned);
+
+  comm::LevelTraffic t;
+  const auto count = [&](bool inter, std::size_t doubles,
+                         std::size_t msgs = 1) {
+    if (inter) {
+      t.inter_bytes += doubles * sizeof(double);
+      t.inter_messages += msgs;
+    } else {
+      t.intra_bytes += doubles * sizeof(double);
+      t.intra_messages += msgs;
+    }
+  };
+
+  if (!routes_hierarchically(route, topo)) {
+    // Flat route: one message per ordered rank pair (empty ones included —
+    // all_to_all ships them too), classified by node co-residency.
+    std::vector<std::vector<std::size_t>> pair(
+        static_cast<std::size_t>(workers),
+        std::vector<std::size_t>(static_cast<std::size_t>(workers), 0));
+    for (int src = 0; src < workers; ++src) {
+      for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
+        const auto tree = engine.octree_for(d);
+        const CellDestMasks masks(*tree, decomp, owner_of, workers);
+        const auto cells = tree->cells();
+        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+          for (int dst = 0; dst < workers; ++dst) {
+            if (masks.needed(ci, dst)) {
+              pair[static_cast<std::size_t>(src)]
+                  [static_cast<std::size_t>(dst)] += cells[ci].sample_count();
+            }
+          }
+        }
+      }
+    }
+    for (int src = 0; src < workers; ++src) {
+      for (int dst = 0; dst < workers; ++dst) {
+        if (dst == src) continue;
+        count(!topo.same_node(src, dst),
+              pair[static_cast<std::size_t>(src)]
+                  [static_cast<std::size_t>(dst)]);
+      }
+    }
+    return t;
+  }
+
+  // Hierarchical route: replay node_multicast_exchange's schedule on the
+  // oracle sizes — own-node multicast, non-leader gather, one inter message
+  // per ordered node pair, leader redistribution.
+  const std::vector<int> node_owners = node_owner_of(owner_of, topo);
+  const auto sizes = node_bundle_sizes(engine, owned, node_owners, topo);
+  for (int me = 0; me < workers; ++me) {
+    const int my_node = topo.node_of(me);
+    const auto members = topo.members(my_node);
+    const auto peers = members.size() - 1;
+    count(false, peers * sizes[static_cast<std::size_t>(me)]
+                             [static_cast<std::size_t>(my_node)],
+          peers);
+    if (!topo.is_leader(me)) {
+      std::size_t remote = 0;
+      for (int d = 0; d < topo.nodes(); ++d) {
+        if (d != my_node) {
+          remote +=
+              sizes[static_cast<std::size_t>(me)][static_cast<std::size_t>(d)];
+        }
+      }
+      count(false, remote);
+      continue;
+    }
+    for (int d = 0; d < topo.nodes(); ++d) {
+      if (d == my_node) continue;
+      std::size_t combined = 0;
+      for (const int q : members) {
+        combined +=
+            sizes[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)];
+      }
+      // Leaders exchange one combined message per ordered node pair, then
+      // forward each received bundle to every local peer.
+      count(!topo.same_node(me, topo.leader_of(d)), combined);
+      std::size_t inbound = 0;
+      for (const int q : topo.members(d)) {
+        inbound += sizes[static_cast<std::size_t>(q)]
+                        [static_cast<std::size_t>(my_node)];
+      }
+      count(false, peers * inbound, peers);
+    }
+  }
+  return t;
+}
+
 RealField distributed_lowcomm_convolve(
     comm::SimCluster& cluster, const RealField& input, const Grid3& grid,
     std::shared_ptr<const green::KernelSpectrum> kernel,
-    const LowCommParams& params) {
+    const LowCommParams& params, ExchangeRoute route) {
   const int workers = cluster.size();
+  const bool hier = routes_hierarchically(route, cluster.topology());
   RealField assembled(grid, 0.0);
   std::mutex assemble_mutex;
 
@@ -237,84 +389,170 @@ RealField distributed_lowcomm_convolve(
     const std::vector<int> owner_of = invert_assignment(decomp, owned);
     const int me = rank.id();
 
-    // Local convolution of my sub-domains, plus one destination bitmask per
-    // local octree (computed once; the pack loop below queries it O(1) per
-    // (cell, destination) instead of re-intersecting owned boxes).
+    // Local convolution of my sub-domains. The destination bitmasks are
+    // computed once per local octree (rank-granularity for the flat route,
+    // node-granularity for the hierarchical one); the pack loops below
+    // query them O(1) per (cell, destination) instead of re-intersecting
+    // owned boxes.
     std::vector<sampling::CompressedField> local;
-    std::vector<CellDestMasks> local_masks;
     local.reserve(mine.size());
-    local_masks.reserve(mine.size());
     {
       LC_TRACE("exchange.local_convolve");
       for (const std::size_t d : mine) {
         local.push_back(engine.convolve_one(input, d));
-        local_masks.emplace_back(local.back().octree(), decomp, owner_of,
-                                 workers);
       }
     }
 
-    // The single global exchange of the method (Fig 1b): per destination,
-    // only the cells whose boxes intersect that destination's regions.
-    std::vector<std::vector<double>> outgoing(
-        static_cast<std::size_t>(workers));
     static obs::Counter& samples_shipped =
         obs::Registry::global().counter("exchange.samples_shipped");
     static obs::Counter& payload_bytes =
         obs::Registry::global().counter("exchange.payload_bytes");
-    {
-      LC_TRACE("exchange.pack");
-      for (int dst = 0; dst < workers; ++dst) {
-        auto& buf = outgoing[static_cast<std::size_t>(dst)];
-        for (std::size_t i = 0; i < mine.size(); ++i) {
-          const auto cells = local[i].octree().cells();
-          const auto payload = local[i].samples();
-          for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-            if (!local_masks[i].needed(ci, dst)) continue;
-            const auto s = payload.subspan(cells[ci].sample_offset,
-                                           cells[ci].sample_count());
-            buf.insert(buf.end(), s.begin(), s.end());
-          }
-        }
-        if (dst != me) {
-          samples_shipped.add(buf.size());
-          payload_bytes.add(buf.size() * sizeof(double));
-        }
-      }
-    }
-    std::vector<std::vector<double>> incoming;
-    {
-      LC_TRACE("exchange.all_to_all");
-      incoming = rank.all_to_all(outgoing);
-    }
 
-    // Rebuild the partial remote contributions: cells not received stay
-    // zero, but accumulation over my regions never reads them.
-    LC_TRACE("exchange.unpack_accumulate");
+    // The single global exchange of the method (Fig 1b): per destination,
+    // only the cells whose boxes intersect that destination's regions.
     std::vector<sampling::CompressedField> contributions;
     contributions.reserve(decomp.count());
-    for (int src = 0; src < workers; ++src) {
-      const auto& buf = incoming[static_cast<std::size_t>(src)];
-      std::size_t offset = 0;
-      for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
-        sampling::CompressedField c(engine.octree_for(d));
-        auto dst_payload = c.samples();
-        const CellDestMasks masks(c.octree(), decomp, owner_of, workers);
-        const auto cells = c.octree().cells();
-        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-          if (!masks.needed(ci, me)) continue;
-          const auto& cell = cells[ci];
-          LC_CHECK(offset + cell.sample_count() <= buf.size(),
-                   "payload framing mismatch");
-          std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
-                    buf.begin() + static_cast<std::ptrdiff_t>(
-                                      offset + cell.sample_count()),
-                    dst_payload.begin() +
-                        static_cast<std::ptrdiff_t>(cell.sample_offset));
-          offset += cell.sample_count();
+    if (hier) {
+      // Hierarchical route: pack each cell ONCE per destination NODE — the
+      // union of its member ranks' needs — and let the node-multicast
+      // exchange ship it across the inter-node link a single time. Every
+      // rank of the destination node receives the node bundle and keeps
+      // what its own regions intersect.
+      const comm::Topology& topo = rank.topology();
+      const int nodes = topo.nodes();
+      const int my_node = topo.node_of(me);
+      const std::vector<int> node_owners = node_owner_of(owner_of, topo);
+      std::vector<std::vector<double>> outgoing(
+          static_cast<std::size_t>(nodes));
+      {
+        LC_TRACE("exchange.pack");
+        std::vector<CellDestMasks> local_masks;
+        local_masks.reserve(mine.size());
+        for (const auto& c : local) {
+          local_masks.emplace_back(c.octree(), decomp, node_owners, nodes);
         }
-        contributions.push_back(std::move(c));
+        for (int dst = 0; dst < nodes; ++dst) {
+          auto& buf = outgoing[static_cast<std::size_t>(dst)];
+          for (std::size_t i = 0; i < mine.size(); ++i) {
+            const auto cells = local[i].octree().cells();
+            const auto payload = local[i].samples();
+            for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+              if (!local_masks[i].needed(ci, dst)) continue;
+              const auto s = payload.subspan(cells[ci].sample_offset,
+                                             cells[ci].sample_count());
+              buf.insert(buf.end(), s.begin(), s.end());
+            }
+          }
+          // Unique payload leaving this rank: each node bundle is packed
+          // (and counted) once however many ranks receive it; the own-node
+          // bundle only counts when node-mates exist to receive it.
+          if (dst != my_node || topo.members(my_node).size() > 1) {
+            samples_shipped.add(buf.size());
+            payload_bytes.add(buf.size() * sizeof(double));
+          }
+        }
       }
-      LC_CHECK(offset == buf.size(), "payload framing mismatch");
+      const auto sizes = node_bundle_sizes(engine, owned, node_owners, topo);
+      std::vector<std::vector<double>> bundles;
+      {
+        LC_TRACE("exchange.hierarchical");
+        bundles = comm::node_multicast_exchange(
+            rank, outgoing, [&](int src, int dst_node) {
+              return sizes[static_cast<std::size_t>(src)]
+                          [static_cast<std::size_t>(dst_node)];
+            });
+      }
+
+      // Rebuild the partial remote contributions from the node bundles:
+      // the framing is the node-granularity mask, so cells my node-mates
+      // need are copied too (harmless — accumulation over my regions never
+      // reads them), and cells nobody here needs stay zero.
+      LC_TRACE("exchange.unpack_accumulate");
+      for (int src = 0; src < workers; ++src) {
+        const auto& buf = bundles[static_cast<std::size_t>(src)];
+        std::size_t offset = 0;
+        for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
+          sampling::CompressedField c(engine.octree_for(d));
+          auto dst_payload = c.samples();
+          const CellDestMasks masks(c.octree(), decomp, node_owners, nodes);
+          const auto cells = c.octree().cells();
+          for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+            if (!masks.needed(ci, my_node)) continue;
+            const auto& cell = cells[ci];
+            LC_CHECK(offset + cell.sample_count() <= buf.size(),
+                     "payload framing mismatch");
+            std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        offset + cell.sample_count()),
+                      dst_payload.begin() +
+                          static_cast<std::ptrdiff_t>(cell.sample_offset));
+            offset += cell.sample_count();
+          }
+          contributions.push_back(std::move(c));
+        }
+        LC_CHECK(offset == buf.size(), "payload framing mismatch");
+      }
+    } else {
+      std::vector<std::vector<double>> outgoing(
+          static_cast<std::size_t>(workers));
+      {
+        LC_TRACE("exchange.pack");
+        std::vector<CellDestMasks> local_masks;
+        local_masks.reserve(mine.size());
+        for (const auto& c : local) {
+          local_masks.emplace_back(c.octree(), decomp, owner_of, workers);
+        }
+        for (int dst = 0; dst < workers; ++dst) {
+          auto& buf = outgoing[static_cast<std::size_t>(dst)];
+          for (std::size_t i = 0; i < mine.size(); ++i) {
+            const auto cells = local[i].octree().cells();
+            const auto payload = local[i].samples();
+            for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+              if (!local_masks[i].needed(ci, dst)) continue;
+              const auto s = payload.subspan(cells[ci].sample_offset,
+                                             cells[ci].sample_count());
+              buf.insert(buf.end(), s.begin(), s.end());
+            }
+          }
+          if (dst != me) {
+            samples_shipped.add(buf.size());
+            payload_bytes.add(buf.size() * sizeof(double));
+          }
+        }
+      }
+      std::vector<std::vector<double>> incoming;
+      {
+        LC_TRACE("exchange.all_to_all");
+        incoming = rank.all_to_all(outgoing);
+      }
+
+      // Rebuild the partial remote contributions: cells not received stay
+      // zero, but accumulation over my regions never reads them.
+      LC_TRACE("exchange.unpack_accumulate");
+      for (int src = 0; src < workers; ++src) {
+        const auto& buf = incoming[static_cast<std::size_t>(src)];
+        std::size_t offset = 0;
+        for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
+          sampling::CompressedField c(engine.octree_for(d));
+          auto dst_payload = c.samples();
+          const CellDestMasks masks(c.octree(), decomp, owner_of, workers);
+          const auto cells = c.octree().cells();
+          for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+            if (!masks.needed(ci, me)) continue;
+            const auto& cell = cells[ci];
+            LC_CHECK(offset + cell.sample_count() <= buf.size(),
+                     "payload framing mismatch");
+            std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        offset + cell.sample_count()),
+                      dst_payload.begin() +
+                          static_cast<std::ptrdiff_t>(cell.sample_offset));
+            offset += cell.sample_count();
+          }
+          contributions.push_back(std::move(c));
+        }
+        LC_CHECK(offset == buf.size(), "payload framing mismatch");
+      }
     }
 
     // Accumulate the regions this rank owns; stitch into the shared result

@@ -97,23 +97,46 @@ class LowCommConvolution {
   mutable std::vector<OctreeSlot> octrees_;
 };
 
+/// How distributed_lowcomm_convolve routes its single sample exchange.
+enum class ExchangeRoute {
+  kAuto,          ///< hierarchical on grouped topologies, flat otherwise
+  kFlat,          ///< one message per ordered rank pair (Rank::all_to_all)
+  kHierarchical,  ///< node-multicast exchange (comm/hierarchical.hpp)
+};
+
 /// Distributed run over a simulated cluster: ranks convolve their assigned
 /// sub-domains locally, then exchange compressed samples in ONE
-/// personalised all-to-all — each octree cell's samples travel only to the
+/// personalised exchange — each octree cell's samples travel only to the
 /// ranks whose regions intersect that cell (the paper's "only sparse
 /// samples are exchanged at the end"). Each rank accumulates the regions of
 /// its own sub-domains. Returns the assembled full field (stitched in
 /// shared memory for verification) and leaves the byte / round counts in
 /// `cluster.stats()`.
+///
+/// On a grouped topology the default route packs each cell ONCE per
+/// destination NODE (the union of its member ranks' needs) and ships it
+/// through the node leaders, so a cell needed by several ranks of a node
+/// crosses the inter-node link once instead of once per rank. The numeric
+/// result is identical to the flat route — only the routing changes.
 [[nodiscard]] RealField distributed_lowcomm_convolve(
     comm::SimCluster& cluster, const RealField& input, const Grid3& grid,
     std::shared_ptr<const green::KernelSpectrum> kernel,
-    const LowCommParams& params);
+    const LowCommParams& params, ExchangeRoute route = ExchangeRoute::kAuto);
 
 /// Exact number of payload bytes the personalised exchange above moves
 /// across the network for `workers` ranks (self-delivery excluded) — the
 /// executable counterpart of Eqn 6's "k³ + sparse samples" volume.
 [[nodiscard]] std::size_t lowcomm_exchange_bytes(
     const LowCommConvolution& engine, int workers);
+
+/// Static per-level WIRE traffic of the exchange `route` would execute on
+/// `topo` — computed from the deterministic octrees alone, without running
+/// anything. Mirrors the message schedule exactly (empty messages
+/// included), so the returned bytes/messages equal the deltas SimCluster's
+/// per-level CommStats records for the exchange collective, and feed
+/// comm::predict_exchange_times for per-level α-β predictions.
+[[nodiscard]] comm::LevelTraffic lowcomm_exchange_traffic(
+    const LowCommConvolution& engine, const comm::Topology& topo,
+    ExchangeRoute route = ExchangeRoute::kAuto);
 
 }  // namespace lc::core

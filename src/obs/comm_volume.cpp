@@ -59,6 +59,22 @@ CommVolumeReport measure_comm_volume(const core::LowCommConvolution& engine,
   return measure_impl(engine, workers, measured_wire_bytes);
 }
 
+CommVolumeReport measure_comm_volume(const core::LowCommConvolution& engine,
+                                     const comm::Topology& topo,
+                                     core::ExchangeRoute route) {
+  const comm::LevelTraffic traffic =
+      core::lowcomm_exchange_traffic(engine, topo, route);
+  CommVolumeReport rep =
+      measure_impl(engine, topo.ranks(), traffic.total_bytes());
+  rep.nodes = topo.nodes();
+  rep.intra_wire_bytes = traffic.intra_bytes;
+  rep.inter_wire_bytes = traffic.inter_bytes;
+  rep.flat_inter_wire_bytes =
+      core::lowcomm_exchange_traffic(engine, topo, core::ExchangeRoute::kFlat)
+          .inter_bytes;
+  return rep;
+}
+
 TextTable CommVolumeReport::table() const {
   TextTable t("Communication volume: measured vs model (n=" +
               std::to_string(n) + ", k=" + std::to_string(k) +
@@ -85,11 +101,18 @@ TextTable CommVolumeReport::table() const {
              "x"});
   t.row({"reduction vs dense", format_fixed(reduction_vs_dense(), 1) + "x",
          ""});
+  if (nodes > 0) {
+    t.row({"  wire, intra-node (" + std::to_string(nodes) + " nodes)",
+           format_bytes_gb(static_cast<double>(intra_wire_bytes)), ""});
+    t.row({"  wire, inter-node",
+           format_bytes_gb(static_cast<double>(inter_wire_bytes)),
+           format_fixed(inter_reduction_vs_flat(), 2) + "x < flat"});
+  }
   return t;
 }
 
 std::string CommVolumeReport::to_json() const {
-  char buf[640];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -101,13 +124,18 @@ std::string CommVolumeReport::to_json() const {
       "  \"payload_bytes\": %zu,\n"
       "  \"unique_bytes\": %zu,\n"
       "  \"wire_bytes\": %zu,\n"
+      "  \"nodes\": %d,\n"
+      "  \"intra_wire_bytes\": %zu,\n"
+      "  \"inter_wire_bytes\": %zu,\n"
+      "  \"flat_inter_wire_bytes\": %zu,\n"
       "  \"model_eqn6_bytes\": %.6g,\n"
       "  \"dense_eqn1_bytes\": %.6g,\n"
       "  \"measured_over_model\": %.6g,\n"
       "  \"reduction_vs_dense\": %.6g\n"
       "}\n",
       static_cast<long long>(n), static_cast<long long>(k), r, workers,
-      subdomains, payload_bytes, unique_bytes, wire_bytes, model_bytes,
+      subdomains, payload_bytes, unique_bytes, wire_bytes, nodes,
+      intra_wire_bytes, inter_wire_bytes, flat_inter_wire_bytes, model_bytes,
       dense_bytes, measured_over_model(), reduction_vs_dense());
   return buf;
 }

@@ -41,6 +41,16 @@ struct CommVolumeReport {
   std::size_t unique_bytes = 0;   ///< Σ_d Σ_cells (side/rate)³ · 8
   std::size_t wire_bytes = 0;     ///< exchange bytes incl. cell fanout
 
+  // Per-level split of wire_bytes when a topology is attached (the
+  // measure_comm_volume overload taking a comm::Topology): how much of the
+  // exchange crosses the expensive inter-node links vs stays inside nodes.
+  // `flat_inter_wire_bytes` is the inter-node volume the FLAT route would
+  // move on the same topology — the baseline the hierarchical dedup beats.
+  int nodes = 0;  ///< 0 when no topology was attached
+  std::size_t intra_wire_bytes = 0;
+  std::size_t inter_wire_bytes = 0;
+  std::size_t flat_inter_wire_bytes = 0;
+
   double model_bytes = 0.0;  ///< Eqn 6 per sub-domain · D · 8
   double dense_bytes = 0.0;  ///< Eqn 1: 2 · N³ · 8 (one transform pair)
 
@@ -68,6 +78,14 @@ struct CommVolumeReport {
     const double ratio = measured_over_model();
     return ratio >= 1.0 - tolerance && ratio <= 1.0 + tolerance;
   }
+  /// Flat-route inter-node bytes over this route's (>1 when the
+  /// hierarchical dedup wins; 0 when no topology was attached).
+  [[nodiscard]] double inter_reduction_vs_flat() const noexcept {
+    return inter_wire_bytes == 0
+               ? 0.0
+               : static_cast<double>(flat_inter_wire_bytes) /
+                     static_cast<double>(inter_wire_bytes);
+  }
 
   [[nodiscard]] TextTable table() const;
   [[nodiscard]] std::string to_json() const;
@@ -85,5 +103,13 @@ struct CommVolumeReport {
 [[nodiscard]] CommVolumeReport measure_comm_volume(
     const core::LowCommConvolution& engine, int workers,
     std::size_t measured_wire_bytes);
+
+/// Topology-aware measurement: wire bytes come from the per-level static
+/// mirror (core::lowcomm_exchange_traffic) for the route `route` would
+/// take on `topo`, filling the per-level fields and the flat-route
+/// inter-node baseline alongside the flat-topology quantities.
+[[nodiscard]] CommVolumeReport measure_comm_volume(
+    const core::LowCommConvolution& engine, const comm::Topology& topo,
+    core::ExchangeRoute route = core::ExchangeRoute::kAuto);
 
 }  // namespace lc::obs

@@ -233,8 +233,11 @@ class Histogram {
 class Registry {
  public:
   static Registry& global() {
-    static Registry registry;
-    return registry;
+    // Intentionally leaked: detached pool workers may still be registering
+    // metrics while static destructors run at exit, so the global registry
+    // must never be destroyed (classic static-destruction-order race).
+    static Registry* registry = new Registry();
+    return *registry;
   }
 
   Registry() = default;

@@ -9,7 +9,9 @@
 #include <numeric>
 #include <vector>
 
+#include "comm/hierarchical.hpp"
 #include "comm/sim_cluster.hpp"
+#include "comm/topology.hpp"
 
 namespace lc::comm {
 namespace {
@@ -153,6 +155,76 @@ TEST(SimClusterStress, ThrowingRankReleasesCollectivesAndRecv) {
         std::runtime_error);
     cluster.run([](Rank& rank) { rank.barrier(); });
   }
+}
+
+TEST(SimClusterStress, HierarchicalExchangeAbortUnwindsAllRoles) {
+  // The composed node-multicast exchange blocks in recv() at three
+  // different points depending on role (leader gathering, leader awaiting
+  // a remote leader, non-leader awaiting forwards). Whichever role the
+  // throwing rank leaves stranded must unwind with the ORIGINAL error, and
+  // the cluster must stay reusable — the composed collectives inherit the
+  // abort protocol from Rank::recv/barrier with no code of their own.
+  const Topology topo = Topology::grouped(6, 3);
+  SimCluster cluster(topo);
+  const std::size_t iters = stress_iters(30);
+  const auto len = [](int, int) { return std::size_t{4}; };
+  for (std::size_t it = 0; it < iters; ++it) {
+    // Rotate the dying rank across roles: leader of node 0, a non-leader,
+    // leader of node 1.
+    const int dying = (it % 3 == 0) ? 0 : (it % 3 == 1) ? 2 : 3;
+    try {
+      cluster.run([&](Rank& rank) {
+        if (rank.id() == dying) throw std::runtime_error("exchange peer died");
+        std::vector<std::vector<double>> outgoing(
+            static_cast<std::size_t>(topo.nodes()),
+            std::vector<double>(4, static_cast<double>(rank.id())));
+        (void)node_multicast_exchange(rank, outgoing, len);
+      });
+      FAIL() << "expected the rank error to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "exchange peer died");
+    }
+    // Fully usable afterwards, including another hierarchical exchange.
+    cluster.run([&](Rank& rank) {
+      std::vector<std::vector<double>> outgoing(
+          static_cast<std::size_t>(topo.nodes()),
+          std::vector<double>(4, 1.0));
+      const auto incoming = node_multicast_exchange(rank, outgoing, len);
+      ASSERT_EQ(incoming.size(), static_cast<std::size_t>(rank.size()));
+    });
+  }
+}
+
+TEST(SimClusterStress, HierarchicalAllToAllSurvivesRepeatedRuns) {
+  // Back-to-back composed all-to-alls with per-iteration payloads: any
+  // channel bleed between iterations (stale bundle left behind by the
+  // leader forwarding loop) shows up as a wrong value immediately.
+  const Topology topo = Topology::grouped(8, 4);
+  const int p = topo.ranks();
+  SimCluster cluster(topo);
+  const std::size_t iters = stress_iters(40);
+  const auto len = [p](int src, int dst) {
+    return static_cast<std::size_t>((src + dst) % 3 + 1);
+  };
+  cluster.run([&](Rank& rank) {
+    for (std::size_t it = 0; it < iters; ++it) {
+      std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        outgoing[static_cast<std::size_t>(d)].assign(
+            len(rank.id(), d),
+            static_cast<double>(it * 10000 + rank.id() * 100 + d));
+      }
+      const auto incoming = hierarchical_all_to_all(rank, outgoing, len);
+      for (int s = 0; s < p; ++s) {
+        const auto& b = incoming[static_cast<std::size_t>(s)];
+        ASSERT_EQ(b.size(), len(s, rank.id()));
+        for (const double v : b) {
+          ASSERT_EQ(v,
+                    static_cast<double>(it * 10000 + s * 100 + rank.id()));
+        }
+      }
+    }
+  });
 }
 
 TEST(SimClusterStress, ReductionValuesNeverTearAcrossIterations) {

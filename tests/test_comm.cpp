@@ -1,10 +1,14 @@
 // Tests for the cost model (Eqns 1, 2, 6) and the simulated cluster.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
 #include "comm/cost_model.hpp"
 #include "comm/sim_cluster.hpp"
+#include "comm/topology.hpp"
 
 namespace lc::comm {
 namespace {
@@ -242,6 +246,140 @@ TEST(SimCluster, RejectsBadRankArguments) {
                }),
                InvalidArgument);
   EXPECT_THROW(SimCluster(0), InvalidArgument);
+}
+
+TEST(SimCluster, ReceiveCountersMirrorSendsAndSumPerRank) {
+  // The cluster-level receive counters (historically missing — only
+  // RankCommStats had them, so the totals could not be cross-checked) must
+  // mirror the send side exactly once the channels drain, and both sides
+  // must equal the sum of the per-rank counters.
+  const int p = 4;
+  SimCluster cluster(Topology::grouped(p, 2));
+  cluster.run([p](Rank& rank) {
+    std::vector<std::vector<double>> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      out[static_cast<std::size_t>(d)] =
+          std::vector<double>(static_cast<std::size_t>(rank.id() + d + 1));
+    }
+    (void)rank.all_to_all(out);
+    (void)rank.all_gather(std::vector<double>(3));
+    rank.send((rank.id() + 1) % p, std::vector<double>(2));
+    (void)rank.recv((rank.id() + p - 1) % p);
+  });
+  const auto& s = cluster.stats();
+  EXPECT_EQ(s.bytes_received.load(), s.bytes_sent.load());
+  EXPECT_EQ(s.messages_received.load(), s.messages.load());
+  EXPECT_EQ(s.intra_bytes_sent.load() + s.inter_bytes_sent.load(),
+            s.bytes_sent.load());
+  EXPECT_EQ(s.intra_messages.load() + s.inter_messages.load(),
+            s.messages.load());
+  std::size_t sent = 0, received = 0, msent = 0, mreceived = 0, intra = 0,
+              inter = 0;
+  for (int r = 0; r < p; ++r) {
+    const RankCommStats rs = cluster.rank_stats(r);
+    sent += rs.bytes_sent;
+    received += rs.bytes_received;
+    msent += rs.messages_sent;
+    mreceived += rs.messages_received;
+    intra += rs.intra_bytes_sent;
+    inter += rs.inter_bytes_sent;
+    EXPECT_EQ(rs.intra_bytes_sent + rs.inter_bytes_sent, rs.bytes_sent);
+  }
+  EXPECT_EQ(sent, s.bytes_sent.load());
+  EXPECT_EQ(received, s.bytes_received.load());
+  EXPECT_EQ(msent, s.messages.load());
+  EXPECT_EQ(mreceived, s.messages_received.load());
+  EXPECT_EQ(intra, s.intra_bytes_sent.load());
+  EXPECT_EQ(inter, s.inter_bytes_sent.load());
+}
+
+TEST(SimCluster, AllGatherRingAccountingIsExact) {
+  // The forwarding ring's own accounting (no longer borrowed from
+  // all_to_all): p(p-1) messages total; a buffer originating at rank o
+  // traverses every ring edge except the one entering o, so the per-level
+  // split follows from which edges cross a node boundary. For p=4 grouped
+  // by 2 the edges 1→2 and 3→0 are inter-node.
+  const int p = 4;
+  SimCluster cluster(Topology::grouped(p, 2));
+  cluster.run([](Rank& rank) {
+    (void)rank.all_gather(
+        std::vector<double>(static_cast<std::size_t>(rank.id() + 1)));
+  });
+  const auto& s = cluster.stats();
+  EXPECT_EQ(s.allgather_rounds.load(), 1u);
+  EXPECT_EQ(s.collective_rounds.load(), 1u);
+  EXPECT_EQ(s.messages.load(), static_cast<std::size_t>(p * (p - 1)));
+  // Total doubles: each origin's m_o doubles forwarded p-1 hops.
+  const std::size_t total = (p - 1) * (1 + 2 + 3 + 4) * sizeof(double);
+  EXPECT_EQ(s.bytes_sent.load(), total);
+  // Origin o misses edge (o-1 → o): buffer 0 crosses inter edge 1→2 only;
+  // buffer 1 crosses 1→2 and 3→0; buffer 2 crosses 3→0 only; buffer 3
+  // crosses both. Inter doubles = 1 + 2·2 + 3 + 2·4 = 16.
+  EXPECT_EQ(s.inter_bytes_sent.load(), 16 * sizeof(double));
+  EXPECT_EQ(s.intra_bytes_sent.load(), total - 16 * sizeof(double));
+  EXPECT_EQ(s.inter_messages.load(), 6u);
+  EXPECT_EQ(s.intra_messages.load(), 6u);
+}
+
+TEST(SimCluster, AllReduceBitIdenticalAcrossStaggeredRuns) {
+  // Regression for the arrival-order reduction: values whose sum depends
+  // on addition order (catastrophic cancellation mix), ranks deliberately
+  // staggered differently on every run. The deterministic slot-based
+  // reduction must return the SAME BITS every time, equal to the fixed
+  // rank-order sum.
+  const int p = 4;
+  const double values[p] = {1e16, 3.14159, -1e16, 2.71828};
+  double reference = 0.0;
+  for (const double v : values) reference += v;
+
+  SimCluster cluster(p);
+  std::vector<double> results;
+  std::mutex results_mutex;
+  for (int run = 0; run < 6; ++run) {
+    cluster.run([&, run](Rank& rank) {
+      // Different rank wins the race each run.
+      const int delay = (rank.id() + run) % p;
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * delay));
+      const double total = rank.all_reduce_sum(values[rank.id()]);
+      std::lock_guard lock(results_mutex);
+      results.push_back(total);
+    });
+  }
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(6 * p));
+  for (const double r : results) {
+    EXPECT_EQ(r, reference);  // bitwise, not NEAR
+  }
+}
+
+TEST(SimCluster, AllReduceAccountingBalancesBothSides) {
+  const int p = 3;
+  SimCluster cluster(p);
+  cluster.run([](Rank& rank) {
+    (void)rank.all_reduce_sum(1.0);
+  });
+  const auto& s = cluster.stats();
+  EXPECT_EQ(s.collective_rounds.load(), 1u);
+  EXPECT_EQ(s.bytes_received.load(), s.bytes_sent.load());
+  EXPECT_EQ(s.messages_received.load(), s.messages.load());
+  EXPECT_EQ(s.intra_bytes_sent.load() + s.inter_bytes_sent.load(),
+            s.bytes_sent.load());
+}
+
+TEST(SimCluster, GroupedTopologyClassifiesPointToPoint) {
+  SimCluster cluster(Topology::grouped(4, 2));
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.send(1, std::vector<double>(5));  // intra: same node {0,1}
+      rank.send(2, std::vector<double>(7));  // inter: node {2,3}
+    }
+    if (rank.id() == 1) (void)rank.recv(0);
+    if (rank.id() == 2) (void)rank.recv(0);
+  });
+  EXPECT_EQ(cluster.stats().intra_bytes_sent.load(), 5 * sizeof(double));
+  EXPECT_EQ(cluster.stats().inter_bytes_sent.load(), 7 * sizeof(double));
+  const RankCommStats r0 = cluster.rank_stats(0);
+  EXPECT_EQ(r0.intra_bytes_sent, 5 * sizeof(double));
+  EXPECT_EQ(r0.inter_bytes_sent, 7 * sizeof(double));
 }
 
 }  // namespace

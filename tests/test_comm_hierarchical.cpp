@@ -1,0 +1,397 @@
+// Tests for the topology-aware hierarchical exchange (ROADMAP item 1):
+// node grouping, the composed node-multicast / all-to-all collectives, the
+// per-level byte accounting, and the pipeline route equivalence (the
+// hierarchical route must reproduce the flat exchange's result exactly —
+// only the routing may change).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/hierarchical.hpp"
+#include "comm/sim_cluster.hpp"
+#include "comm/topology.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+
+namespace lc::comm {
+namespace {
+
+TEST(Topology, FlatEveryRankItsOwnNode) {
+  const Topology t = Topology::flat(4);
+  EXPECT_EQ(t.ranks(), 4);
+  EXPECT_EQ(t.nodes(), 4);
+  EXPECT_TRUE(t.is_flat());
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(t.node_of(r), r);
+    EXPECT_TRUE(t.is_leader(r));
+    EXPECT_EQ(t.leader_of(r), r);
+  }
+  EXPECT_FALSE(t.same_node(0, 1));
+  EXPECT_TRUE(t.same_node(2, 2));
+}
+
+TEST(Topology, GroupedContiguousBlocks) {
+  const Topology t = Topology::grouped(8, 4);
+  EXPECT_EQ(t.ranks(), 8);
+  EXPECT_EQ(t.nodes(), 2);
+  EXPECT_FALSE(t.is_flat());
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.leader_of(1), 4);
+  EXPECT_TRUE(t.is_leader(0));
+  EXPECT_TRUE(t.is_leader(4));
+  EXPECT_FALSE(t.is_leader(5));
+  EXPECT_TRUE(t.same_node(1, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+  const auto m = t.members(1);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.front(), 4);
+  EXPECT_EQ(m.back(), 7);
+}
+
+TEST(Topology, RemainderRanksJoinLastNode) {
+  const Topology t = Topology::grouped(10, 4);
+  EXPECT_EQ(t.nodes(), 3);
+  EXPECT_EQ(t.members(2).size(), 2u);
+  EXPECT_EQ(t.node_of(9), 2);
+  EXPECT_EQ(t.leader_of(2), 8);
+}
+
+TEST(Topology, RejectsBadShapes) {
+  EXPECT_THROW(Topology::flat(0), InvalidArgument);
+  EXPECT_THROW(Topology::grouped(4, 0), InvalidArgument);
+  EXPECT_THROW(Topology::grouped(2, 4), InvalidArgument);
+}
+
+// Deterministic payload for (src rank, dst node, slot): both sides of every
+// test below agree on it without communicating.
+double bundle_value(int src, int dst_node, std::size_t j) {
+  return 1000.0 * src + 10.0 * dst_node + static_cast<double>(j);
+}
+
+std::size_t bundle_len(int src, int dst_node, int nodes) {
+  return static_cast<std::size_t>(src + dst_node * nodes + 1);
+}
+
+TEST(HierarchicalComm, NodeMulticastDeliversEverySourceBundle) {
+  const Topology topo = Topology::grouped(6, 2);
+  const int nodes = topo.nodes();
+  SimCluster cluster(topo);
+  cluster.run([&](Rank& rank) {
+    const int me = rank.id();
+    std::vector<std::vector<double>> outgoing(
+        static_cast<std::size_t>(nodes));
+    for (int d = 0; d < nodes; ++d) {
+      auto& b = outgoing[static_cast<std::size_t>(d)];
+      b.resize(bundle_len(me, d, nodes));
+      for (std::size_t j = 0; j < b.size(); ++j) b[j] = bundle_value(me, d, j);
+    }
+    const auto incoming = node_multicast_exchange(
+        rank, outgoing,
+        [&](int src, int dst_node) { return bundle_len(src, dst_node, nodes); });
+
+    // EVERY rank receives EVERY source's bundle for its own node — that is
+    // the node-multicast contract (each receiver filters what it needs).
+    const int my_node = rank.topology().node_of(me);
+    ASSERT_EQ(incoming.size(), static_cast<std::size_t>(rank.size()));
+    for (int src = 0; src < rank.size(); ++src) {
+      const auto& b = incoming[static_cast<std::size_t>(src)];
+      ASSERT_EQ(b.size(), bundle_len(src, my_node, nodes))
+          << "src=" << src << " me=" << me;
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        EXPECT_EQ(b[j], bundle_value(src, my_node, j));
+      }
+    }
+  });
+  EXPECT_EQ(cluster.stats().collective_rounds.load(), 1u);
+}
+
+TEST(HierarchicalComm, FlatTopologyDegeneratesToPersonalisedExchange) {
+  // On a flat topology "node" == "rank": the collective must behave exactly
+  // like a personalised all-to-all, one message per ordered pair.
+  const int p = 4;
+  SimCluster cluster(Topology::flat(p));
+  cluster.run([&](Rank& rank) {
+    const int me = rank.id();
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      outgoing[static_cast<std::size_t>(d)] = {
+          static_cast<double>(me * 100 + d)};
+    }
+    const auto incoming = node_multicast_exchange(
+        rank, outgoing, [](int, int) { return std::size_t{1}; });
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)].at(0),
+                static_cast<double>(s * 100 + me));
+    }
+  });
+  EXPECT_EQ(cluster.stats().messages.load(),
+            static_cast<std::size_t>(p * (p - 1)));
+  EXPECT_EQ(cluster.stats().intra_bytes_sent.load(), 0u);
+}
+
+TEST(HierarchicalComm, AllToAllMatchesBuiltinExactly) {
+  const Topology topo = Topology::grouped(6, 3);
+  const int p = topo.ranks();
+  const auto pair_len = [p](int src, int dst) {
+    return static_cast<std::size_t>((src * p + dst) % 5 + 1);
+  };
+  SimCluster cluster(topo);
+  cluster.run([&](Rank& rank) {
+    const int me = rank.id();
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      auto& b = outgoing[static_cast<std::size_t>(d)];
+      b.resize(pair_len(me, d));
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        b[j] = bundle_value(me, d, j);
+      }
+    }
+    const auto via_hier = hierarchical_all_to_all(rank, outgoing, pair_len);
+    const auto via_flat = rank.all_to_all(outgoing);
+    ASSERT_EQ(via_hier.size(), via_flat.size());
+    for (std::size_t s = 0; s < via_flat.size(); ++s) {
+      EXPECT_EQ(via_hier[s], via_flat[s]) << "source " << s;
+    }
+  });
+}
+
+TEST(HierarchicalComm, PerLevelByteAccountingIsExact) {
+  // Replay the schedule by hand for a 2-node/4-rank cluster with known
+  // bundle sizes and demand the cluster's per-level counters match to the
+  // byte: own-node multicast + non-leader gather + one inter message per
+  // ordered node pair + leader redistribution.
+  const Topology topo = Topology::grouped(4, 2);
+  const int nodes = topo.nodes();
+  const auto len = [nodes](int src, int dst_node) {
+    return bundle_len(src, dst_node, nodes);
+  };
+  SimCluster cluster(topo);
+  cluster.run([&](Rank& rank) {
+    const int me = rank.id();
+    std::vector<std::vector<double>> outgoing(
+        static_cast<std::size_t>(nodes));
+    for (int d = 0; d < nodes; ++d) {
+      outgoing[static_cast<std::size_t>(d)].assign(len(me, d), 1.0);
+    }
+    (void)node_multicast_exchange(rank, outgoing, len);
+  });
+
+  std::size_t intra = 0, inter = 0, intra_msgs = 0, inter_msgs = 0;
+  for (int me = 0; me < topo.ranks(); ++me) {
+    const int my_node = topo.node_of(me);
+    const auto members = topo.members(my_node);
+    const std::size_t peers = members.size() - 1;
+    intra += peers * len(me, my_node);  // own-node multicast
+    intra_msgs += peers;
+    if (!topo.is_leader(me)) {  // gather to leader
+      for (int d = 0; d < nodes; ++d) {
+        if (d != my_node) intra += len(me, d);
+      }
+      intra_msgs += 1;
+      continue;
+    }
+    for (int d = 0; d < nodes; ++d) {  // leader: inter + redistribution
+      if (d == my_node) continue;
+      for (const int q : members) inter += len(q, d);
+      inter_msgs += 1;
+      std::size_t inbound = 0;
+      for (const int q : topo.members(d)) inbound += len(q, my_node);
+      intra += peers * inbound;
+      intra_msgs += peers;
+    }
+  }
+  const auto& s = cluster.stats();
+  EXPECT_EQ(s.intra_bytes_sent.load(), intra * sizeof(double));
+  EXPECT_EQ(s.inter_bytes_sent.load(), inter * sizeof(double));
+  EXPECT_EQ(s.intra_messages.load(), intra_msgs);
+  EXPECT_EQ(s.inter_messages.load(), inter_msgs);
+  EXPECT_EQ(s.bytes_sent.load(), (intra + inter) * sizeof(double));
+  EXPECT_EQ(s.bytes_received.load(), s.bytes_sent.load());
+  EXPECT_EQ(s.messages_received.load(), s.messages.load());
+}
+
+TEST(HierarchicalComm, OracleMismatchThrows) {
+  const Topology topo = Topology::grouped(4, 2);
+  SimCluster cluster(topo);
+  EXPECT_THROW(
+      cluster.run([&](Rank& rank) {
+        std::vector<std::vector<double>> outgoing(
+            static_cast<std::size_t>(topo.nodes()),
+            std::vector<double>(3, 0.0));
+        // Oracle disagrees with the actual bundle sizes.
+        (void)node_multicast_exchange(rank, outgoing,
+                                      [](int, int) { return std::size_t{2}; });
+      }),
+      InvalidArgument);
+}
+
+class LowCommPipelineHierarchical : public ::testing::Test {
+ protected:
+  static core::LowCommParams params(i64 k, i64 rate) {
+    core::LowCommParams p;
+    p.subdomain = k;
+    p.far_rate = rate;
+    p.uniform_rate = rate;
+    p.batch = 256;
+    return p;
+  }
+
+  static RealField random_field(const Grid3& g, std::uint64_t seed) {
+    RealField f(g);
+    SplitMix64 rng(seed);
+    for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+    return f;
+  }
+};
+
+TEST_F(LowCommPipelineHierarchical, RouteMatchesFlatExchange) {
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 42);
+  const auto p = params(16, 2);
+  const Topology topo = Topology::grouped(4, 2);
+
+  SimCluster flat_cluster(topo);
+  const RealField flat = core::distributed_lowcomm_convolve(
+      flat_cluster, input, g, kernel, p, core::ExchangeRoute::kFlat);
+  SimCluster hier_cluster(topo);
+  const RealField hier = core::distributed_lowcomm_convolve(
+      hier_cluster, input, g, kernel, p, core::ExchangeRoute::kHierarchical);
+
+  const auto fs = flat.span();
+  const auto hs = hier.span();
+  ASSERT_EQ(fs.size(), hs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    ASSERT_NEAR(fs[i], hs[i], 1e-12) << "at " << i;
+  }
+}
+
+TEST_F(LowCommPipelineHierarchical, AutoRoutePicksTopology) {
+  // kAuto on a grouped cluster must take the hierarchical schedule (visible
+  // in the collapsed message count) and still equal the flat-route result.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 7);
+  const auto p = params(16, 2);
+
+  SimCluster grouped(Topology::grouped(4, 2));
+  const RealField auto_routed =
+      core::distributed_lowcomm_convolve(grouped, input, g, kernel, p);
+  const comm::LevelTraffic want = core::lowcomm_exchange_traffic(
+      core::LowCommConvolution(g, kernel, p), grouped.topology(),
+      core::ExchangeRoute::kHierarchical);
+  EXPECT_EQ(grouped.stats().messages.load(), want.total_messages());
+
+  SimCluster flat_cluster(4);
+  const RealField flat =
+      core::distributed_lowcomm_convolve(flat_cluster, input, g, kernel, p);
+  const auto as = auto_routed.span();
+  const auto fs = flat.span();
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    ASSERT_NEAR(fs[i], as[i], 1e-12) << "at " << i;
+  }
+}
+
+TEST_F(LowCommPipelineHierarchical, StaticTrafficMirrorsExecutedStats) {
+  // The static per-level mirror must equal the executed per-level counters
+  // byte for byte and message for message, on BOTH routes — that is the
+  // header-free-framing guarantee (the wire carries no metadata, so the
+  // whole schedule is computable offline).
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 3);
+  const auto p = params(16, 2);
+  const Topology topo = Topology::grouped(4, 2);
+  const core::LowCommConvolution engine(g, kernel, p);
+
+  for (const auto route :
+       {core::ExchangeRoute::kFlat, core::ExchangeRoute::kHierarchical}) {
+    SimCluster cluster(topo);
+    (void)core::distributed_lowcomm_convolve(cluster, input, g, kernel, p,
+                                             route);
+    const comm::LevelTraffic want =
+        core::lowcomm_exchange_traffic(engine, topo, route);
+    const comm::LevelTraffic got = cluster.stats().level_traffic();
+    EXPECT_EQ(got.intra_bytes, want.intra_bytes);
+    EXPECT_EQ(got.inter_bytes, want.inter_bytes);
+    EXPECT_EQ(got.intra_messages, want.intra_messages);
+    EXPECT_EQ(got.inter_messages, want.inter_messages);
+  }
+}
+
+TEST_F(LowCommPipelineHierarchical, GroupedRouteCutsInterNodeBytes) {
+  // The acceptance shape of the PR at test scale: with coarse cells
+  // straddling several ranks' regions, packing per NODE dedups the
+  // inter-node volume strictly below the flat route's.
+  const Grid3 g = Grid3::cube(64);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const auto p = params(16, 4);
+  const core::LowCommConvolution engine(g, kernel, p);
+  const Topology topo = Topology::grouped(8, 4);
+
+  const auto flat =
+      core::lowcomm_exchange_traffic(engine, topo, core::ExchangeRoute::kFlat);
+  const auto hier = core::lowcomm_exchange_traffic(
+      engine, topo, core::ExchangeRoute::kHierarchical);
+  EXPECT_LT(hier.inter_bytes, flat.inter_bytes);
+  EXPECT_LT(hier.inter_messages, flat.inter_messages);
+  // Payload conservation: whatever the route, every (cell, destination
+  // rank) pair still gets delivered — the flat wire volume lower-bounds
+  // nothing about the hierarchical intra level, but the inter level can
+  // only shrink (never grow) under node-union packing.
+  EXPECT_LE(hier.inter_bytes, flat.inter_bytes);
+}
+
+TEST(CostModelHierarchical, PredictedTimesSplitByLevel) {
+  HierarchicalLinkModel links;
+  links.intra = {1e-7, 1e-11};
+  links.inter = {1e-6, 1e-10};
+  LevelTraffic t;
+  t.intra_bytes = 1000;
+  t.inter_bytes = 500;
+  t.intra_messages = 3;
+  t.inter_messages = 2;
+  const LevelTimes times = predict_exchange_times(t, links);
+  EXPECT_DOUBLE_EQ(times.intra_seconds, 3 * 1e-7 + 1000 * 1e-11);
+  EXPECT_DOUBLE_EQ(times.inter_seconds, 2 * 1e-6 + 500 * 1e-10);
+  EXPECT_DOUBLE_EQ(times.total_seconds(),
+                   times.intra_seconds + times.inter_seconds);
+}
+
+TEST(CostModelHierarchical, AnalyticModelsConserveVolumeAndShrinkInter) {
+  const int p = 64;
+  const double volume = 1.0e6;
+  const auto flat1 = flat_exchange_traffic(p, 1, volume);
+  EXPECT_EQ(flat1.intra_bytes, 0u);
+  // Flat topology: everything inter, p(p-1) messages of V/(p-1) each.
+  EXPECT_EQ(flat1.inter_messages, static_cast<std::size_t>(p * (p - 1)));
+  EXPECT_NEAR(static_cast<double>(flat1.inter_bytes),
+              static_cast<double>(p) * volume, 64.0);
+
+  for (const int g : {2, 8, 32}) {
+    const auto flat = flat_exchange_traffic(p, g, volume);
+    const auto lo = hierarchical_exchange_traffic(p, g, volume, 1.0);
+    const auto hi = hierarchical_exchange_traffic(
+        p, g, volume, static_cast<double>(g));
+    // Without overlap the inter level only re-routes (equal bytes, fewer
+    // messages); with full overlap it shrinks by the dedup factor.
+    EXPECT_NEAR(static_cast<double>(lo.inter_bytes),
+                static_cast<double>(flat.inter_bytes), 64.0)
+        << "g=" << g;
+    EXPECT_LT(lo.inter_messages, flat.inter_messages) << "g=" << g;
+    EXPECT_NEAR(static_cast<double>(hi.inter_bytes),
+                static_cast<double>(flat.inter_bytes) / g, 64.0)
+        << "g=" << g;
+  }
+  EXPECT_THROW(hierarchical_exchange_traffic(10, 4, 1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(hierarchical_exchange_traffic(8, 4, 1.0, 0.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lc::comm

@@ -326,6 +326,47 @@ TEST(ObsCommVolume, WireBytesMatchSimClusterMeasurement) {
   EXPECT_EQ(rep.wire_bytes, measured);
 }
 
+TEST(ObsCommVolume, HierarchicalExchangeCountersMatchLevelTraffic) {
+  // The composed exchange classifies every send it issues into the global
+  // exchange.inter_node_bytes / exchange.intra_node_bytes counters; their
+  // deltas must equal both the static traffic mirror and the per-level
+  // bytes the cluster actually accounted.
+  const Grid3 grid = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  const core::LowCommParams params = uniform_params(16, 2);
+
+  RealField input(grid);
+  SplitMix64 rng(14);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  auto& reg = obs::Registry::global();
+  const auto inter_before = reg.counter("exchange.inter_node_bytes").value();
+  const auto intra_before = reg.counter("exchange.intra_node_bytes").value();
+
+  const comm::Topology topo = comm::Topology::grouped(4, 2);
+  comm::SimCluster cluster(topo);
+  (void)core::distributed_lowcomm_convolve(cluster, input, grid, kernel,
+                                           params,
+                                           core::ExchangeRoute::kHierarchical);
+
+  const auto inter_delta =
+      reg.counter("exchange.inter_node_bytes").value() - inter_before;
+  const auto intra_delta =
+      reg.counter("exchange.intra_node_bytes").value() - intra_before;
+  EXPECT_GT(inter_delta, 0u);
+  EXPECT_GT(intra_delta, 0u);
+
+  core::LowCommConvolution engine(grid, kernel, params);
+  const comm::LevelTraffic mirror = core::lowcomm_exchange_traffic(
+      engine, topo, core::ExchangeRoute::kHierarchical);
+  EXPECT_EQ(inter_delta, mirror.inter_bytes);
+  EXPECT_EQ(intra_delta, mirror.intra_bytes);
+
+  const comm::LevelTraffic executed = cluster.stats().level_traffic();
+  EXPECT_EQ(inter_delta, executed.inter_bytes);
+  EXPECT_EQ(intra_delta, executed.intra_bytes);
+}
+
 TEST(ObsRankStats, PerRankCountersSumToAggregate) {
   const Grid3 grid = Grid3::cube(32);
   const int ranks = 4;

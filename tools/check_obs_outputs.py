@@ -32,7 +32,11 @@ REQUIRED_SPANS = [
     "accumulate.region",
     "exchange.local_convolve",
     "exchange.all_to_all",
+    "exchange.hierarchical",
     "exchange.unpack_accumulate",
+    "comm.hier_split",
+    "comm.hier_inter",
+    "comm.hier_intra",
     "comm.barrier",
     "service.wave",
     "service.admission",
@@ -51,6 +55,8 @@ REQUIRED_COUNTERS = [
     "comm.bytes_sent",
     "comm.messages",
     "exchange.payload_bytes",
+    "exchange.inter_node_bytes",
+    "exchange.intra_node_bytes",
     "pipeline.compressed_samples",
 ]
 
@@ -58,6 +64,8 @@ NONZERO_COUNTERS = [
     "comm.bytes_sent",
     "comm.messages",
     "exchange.payload_bytes",
+    "exchange.inter_node_bytes",
+    "exchange.intra_node_bytes",
     "pipeline.compressed_samples",
 ]
 
