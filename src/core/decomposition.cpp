@@ -1,8 +1,41 @@
 #include "core/decomposition.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <string_view>
+
 #include "common/check.hpp"
 
 namespace lc::core {
+
+namespace {
+
+/// Interleave the low 21 bits of (x, y, z) into one Morton key. per-axis
+/// coordinates here are sub-domain block coordinates (< 2^21 always).
+std::uint64_t morton3(std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+  std::uint64_t key = 0;
+  for (int b = 0; b < 21; ++b) {
+    key |= ((x >> b) & 1u) << (3 * b);
+    key |= ((y >> b) & 1u) << (3 * b + 1);
+    key |= ((z >> b) & 1u) << (3 * b + 2);
+  }
+  return key;
+}
+
+}  // namespace
+
+Assignment default_assignment() {
+  static const Assignment chosen = [] {
+    const char* env = std::getenv("LC_ASSIGNMENT");
+    if (env != nullptr && std::string_view(env) == "roundrobin") {
+      return Assignment::kRoundRobin;
+    }
+    return Assignment::kBlockedMorton;
+  }();
+  return chosen;
+}
 
 DomainDecomposition::DomainDecomposition(const Grid3& grid, i64 k)
     : grid_(grid), k_(k) {
@@ -19,17 +52,51 @@ DomainDecomposition::DomainDecomposition(const Grid3& grid, i64 k)
       }
     }
   }
+  // Morton (octant-interleaved) order of the boxes: the sort key interleaves
+  // the block coordinates, so consecutive positions are spatial neighbours.
+  morton_order_.resize(boxes_.size());
+  std::iota(morton_order_.begin(), morton_order_.end(), std::size_t{0});
+  std::sort(morton_order_.begin(), morton_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Index3& la = boxes_[a].lo;
+              const Index3& lb = boxes_[b].lo;
+              return morton3(static_cast<std::uint64_t>(la.x / k),
+                             static_cast<std::uint64_t>(la.y / k),
+                             static_cast<std::uint64_t>(la.z / k)) <
+                     morton3(static_cast<std::uint64_t>(lb.x / k),
+                             static_cast<std::uint64_t>(lb.y / k),
+                             static_cast<std::uint64_t>(lb.z / k));
+            });
 }
 
 std::vector<std::size_t> DomainDecomposition::assigned_to(int rank,
                                                           int workers) const {
+  return assigned_to(rank, workers, default_assignment());
+}
+
+std::vector<std::size_t> DomainDecomposition::assigned_to(
+    int rank, int workers, Assignment how) const {
   LC_CHECK_ARG(workers >= 1 && rank >= 0 && rank < workers,
                "bad rank/worker count");
   std::vector<std::size_t> mine;
-  for (std::size_t i = static_cast<std::size_t>(rank); i < boxes_.size();
-       i += static_cast<std::size_t>(workers)) {
-    mine.push_back(i);
+  if (how == Assignment::kRoundRobin) {
+    for (std::size_t i = static_cast<std::size_t>(rank); i < boxes_.size();
+         i += static_cast<std::size_t>(workers)) {
+      mine.push_back(i);
+    }
+    return mine;
   }
+  // Blocked assignment: rank r owns the r-th contiguous run of the Morton
+  // order, so each rank's sub-domains form one compact spatial cluster and
+  // rank blocks (= nodes under Topology::grouped) cluster too.
+  const std::size_t count = boxes_.size();
+  const std::size_t p = static_cast<std::size_t>(workers);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t begin = count * r / p;
+  const std::size_t end = count * (r + 1) / p;
+  mine.assign(morton_order_.begin() + static_cast<std::ptrdiff_t>(begin),
+              morton_order_.begin() + static_cast<std::ptrdiff_t>(end));
+  std::sort(mine.begin(), mine.end());
   return mine;
 }
 

@@ -8,6 +8,23 @@
 
 namespace lc::core {
 
+/// How sub-domain indices map onto ranks.
+enum class Assignment {
+  /// Contiguous runs of the Morton (octant-interleaved) order per rank:
+  /// each rank owns a compact spatial block, so neighbouring sub-domains —
+  /// whose octree cells overlap the most — land on the same rank (and, with
+  /// block-grouped topologies, the same node). This is what makes the
+  /// planner's node-locality assumptions real.
+  kBlockedMorton,
+  /// Legacy strided round-robin (rank, rank+P, ...). Kept as the A/B
+  /// baseline for benches; spatially maximally scattered.
+  kRoundRobin,
+};
+
+/// Process-wide default assignment: kBlockedMorton unless the environment
+/// sets LC_ASSIGNMENT=roundrobin (read once, first call wins).
+[[nodiscard]] Assignment default_assignment();
+
 /// Regular volumetric decomposition of a cubic grid into cubic sub-domains.
 class DomainDecomposition {
  public:
@@ -25,14 +42,22 @@ class DomainDecomposition {
     return boxes_.at(i);
   }
 
-  /// Round-robin assignment of sub-domain indices to `workers` ranks.
+  /// Sub-domain indices (ascending) owned by `rank` out of `workers` under
+  /// the process default assignment. Every caller of the exchange — packing,
+  /// the static traffic mirror, and the executed collective — must route
+  /// through the same assignment or the framing would disagree.
   [[nodiscard]] std::vector<std::size_t> assigned_to(int rank,
                                                      int workers) const;
+
+  /// Same, with the assignment scheme explicit (bench A/B hooks).
+  [[nodiscard]] std::vector<std::size_t> assigned_to(int rank, int workers,
+                                                     Assignment how) const;
 
  private:
   Grid3 grid_;
   i64 k_;
   std::vector<Box3> boxes_;
+  std::vector<std::size_t> morton_order_;  // box indices in Morton order
 };
 
 }  // namespace lc::core

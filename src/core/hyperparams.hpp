@@ -9,6 +9,8 @@
 // bench_batch_param ablates B explicitly.
 #pragma once
 
+#include <vector>
+
 #include "device/memory_model.hpp"
 #include "tensor/grid.hpp"
 
@@ -29,7 +31,15 @@ struct HyperparamAdvice {
 /// N/k = 4..16 and r=32 for N/k = 32), clamped to [2, 32].
 [[nodiscard]] i64 recommended_far_rate(i64 n, i64 k);
 
+/// Divisors of n that are usable sub-domain sizes (2 <= k <= n), descending.
+/// DomainDecomposition requires k | n, so these are the only legal k values.
+[[nodiscard]] std::vector<i64> subdomain_divisors(i64 n);
+
 /// Full advice: k maximised against device capacity, then r and B derived.
+/// The returned k always divides n (the pow2 memory probe can land on a k
+/// that DomainDecomposition would reject for non-pow2 n; this falls back to
+/// the largest memory-feasible divisor instead) and throws InvalidArgument
+/// with a capacity message when no divisor fits the device.
 [[nodiscard]] HyperparamAdvice select_hyperparams(
     i64 n, const device::DeviceSpec& spec);
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <bit>
+#include <functional>
 #include <optional>
 #include <span>
 
@@ -175,7 +176,7 @@ class CellDestMasks {
   std::vector<std::uint64_t> bits_;
 };
 
-/// owner_of[d] = rank owning sub-domain d under round-robin assignment.
+/// owner_of[d] = rank owning sub-domain d under the active assignment.
 std::vector<int> invert_assignment(
     const DomainDecomposition& decomp,
     const std::vector<std::vector<std::size_t>>& owned) {
@@ -199,22 +200,27 @@ std::vector<int> node_owner_of(const std::vector<int>& owner_of,
   return node_of;
 }
 
+/// Source of per-sub-domain octrees for the traffic walkers below: an
+/// engine's cached slots, or trees built on the fly from (grid, params)
+/// when no engine exists (the planner's pricing path).
+using OctreeSource =
+    std::function<std::shared_ptr<const sampling::Octree>(std::size_t)>;
+
 /// sizes[src][D] = doubles rank src ships to node D under node-granularity
 /// packing. Every rank computes the full table from the deterministic
 /// octrees — this is the size oracle that frames the hierarchical exchange
 /// without any metadata crossing the wire.
 std::vector<std::vector<std::size_t>> node_bundle_sizes(
-    const LowCommConvolution& engine,
+    const DomainDecomposition& decomp, const OctreeSource& octree_for,
     const std::vector<std::vector<std::size_t>>& owned,
     const std::vector<int>& node_owners, const comm::Topology& topo) {
-  const auto& decomp = engine.decomposition();
   const int nodes = topo.nodes();
   std::vector<std::vector<std::size_t>> sizes(
       owned.size(),
       std::vector<std::size_t>(static_cast<std::size_t>(nodes), 0));
   for (std::size_t src = 0; src < owned.size(); ++src) {
     for (const std::size_t d : owned[src]) {
-      const auto tree = engine.octree_for(d);
+      const auto tree = octree_for(d);
       const CellDestMasks masks(*tree, decomp, node_owners, nodes);
       const auto cells = tree->cells();
       for (std::size_t ci = 0; ci < cells.size(); ++ci) {
@@ -236,36 +242,10 @@ bool routes_hierarchically(ExchangeRoute route, const comm::Topology& topo) {
   return !topo.is_flat();
 }
 
-}  // namespace
-
-std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
-                                   int workers) {
-  const auto& decomp = engine.decomposition();
-  std::vector<std::vector<std::size_t>> owned(
-      static_cast<std::size_t>(workers));
-  for (int r = 0; r < workers; ++r) {
-    owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
-  }
-  const std::vector<int> owner_of = invert_assignment(decomp, owned);
-  std::size_t bytes = 0;
-  for (int src = 0; src < workers; ++src) {
-    for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
-      const auto tree = engine.octree_for(d);
-      const CellDestMasks masks(*tree, decomp, owner_of, workers);
-      const auto cells = tree->cells();
-      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-        bytes += static_cast<std::size_t>(masks.fanout_excluding(ci, src)) *
-                 cells[ci].sample_count() * sizeof(double);
-      }
-    }
-  }
-  return bytes;
-}
-
-comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
-                                            const comm::Topology& topo,
-                                            ExchangeRoute route) {
-  const auto& decomp = engine.decomposition();
+comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
+                                         const OctreeSource& octree_for,
+                                         const comm::Topology& topo,
+                                         ExchangeRoute route) {
   const int workers = topo.ranks();
   std::vector<std::vector<std::size_t>> owned(
       static_cast<std::size_t>(workers));
@@ -294,7 +274,7 @@ comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
         std::vector<std::size_t>(static_cast<std::size_t>(workers), 0));
     for (int src = 0; src < workers; ++src) {
       for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
-        const auto tree = engine.octree_for(d);
+        const auto tree = octree_for(d);
         const CellDestMasks masks(*tree, decomp, owner_of, workers);
         const auto cells = tree->cells();
         for (std::size_t ci = 0; ci < cells.size(); ++ci) {
@@ -322,7 +302,8 @@ comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
   // oracle sizes — own-node multicast, non-leader gather, one inter message
   // per ordered node pair, leader redistribution.
   const std::vector<int> node_owners = node_owner_of(owner_of, topo);
-  const auto sizes = node_bundle_sizes(engine, owned, node_owners, topo);
+  const auto sizes =
+      node_bundle_sizes(decomp, octree_for, owned, node_owners, topo);
   for (int me = 0; me < workers; ++me) {
     const int my_node = topo.node_of(me);
     const auto members = topo.members(my_node);
@@ -360,6 +341,55 @@ comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
     }
   }
   return t;
+}
+
+}  // namespace
+
+std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
+                                   int workers) {
+  const auto& decomp = engine.decomposition();
+  std::vector<std::vector<std::size_t>> owned(
+      static_cast<std::size_t>(workers));
+  for (int r = 0; r < workers; ++r) {
+    owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
+  }
+  const std::vector<int> owner_of = invert_assignment(decomp, owned);
+  std::size_t bytes = 0;
+  for (int src = 0; src < workers; ++src) {
+    for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
+      const auto tree = engine.octree_for(d);
+      const CellDestMasks masks(*tree, decomp, owner_of, workers);
+      const auto cells = tree->cells();
+      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        bytes += static_cast<std::size_t>(masks.fanout_excluding(ci, src)) *
+                 cells[ci].sample_count() * sizeof(double);
+      }
+    }
+  }
+  return bytes;
+}
+
+comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
+                                            const comm::Topology& topo,
+                                            ExchangeRoute route) {
+  return exchange_traffic_impl(
+      engine.decomposition(),
+      [&](std::size_t d) { return engine.octree_for(d); }, topo, route);
+}
+
+comm::LevelTraffic lowcomm_exchange_traffic(const Grid3& grid,
+                                            const LowCommParams& params,
+                                            const comm::Topology& topo,
+                                            ExchangeRoute route) {
+  const DomainDecomposition decomp(grid, params.subdomain);
+  const auto policy = params.make_policy();
+  return exchange_traffic_impl(
+      decomp,
+      [&](std::size_t d) {
+        return std::make_shared<const sampling::Octree>(
+            grid, decomp.subdomain(d), policy);
+      },
+      topo, route);
 }
 
 RealField distributed_lowcomm_convolve(
@@ -452,7 +482,9 @@ RealField distributed_lowcomm_convolve(
           }
         }
       }
-      const auto sizes = node_bundle_sizes(engine, owned, node_owners, topo);
+      const auto sizes = node_bundle_sizes(
+          decomp, [&](std::size_t d) { return engine.octree_for(d); }, owned,
+          node_owners, topo);
       std::vector<std::vector<double>> bundles;
       {
         LC_TRACE("exchange.hierarchical");

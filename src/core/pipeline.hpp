@@ -139,4 +139,12 @@ enum class ExchangeRoute {
     const LowCommConvolution& engine, const comm::Topology& topo,
     ExchangeRoute route = ExchangeRoute::kAuto);
 
+/// Same static traffic mirror, computed from (grid, params) alone — no
+/// engine, kernel, or FFT plan needed. The octrees are deterministic in the
+/// sampling policy, so this is exactly what an engine-backed run would move;
+/// the planner prices candidate plans with it.
+[[nodiscard]] comm::LevelTraffic lowcomm_exchange_traffic(
+    const Grid3& grid, const LowCommParams& params, const comm::Topology& topo,
+    ExchangeRoute route = ExchangeRoute::kAuto);
+
 }  // namespace lc::core

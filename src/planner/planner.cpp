@@ -1,0 +1,453 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "core/hyperparams.hpp"
+#include "device/memory_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "planner/probe.hpp"
+#include "sampling/octree.hpp"
+
+namespace lc::planner {
+
+namespace {
+
+struct PlannerMetrics {
+  obs::Counter& plans = obs::Registry::global().counter("planner.plans");
+  obs::Counter& candidates =
+      obs::Registry::global().counter("planner.candidates");
+  obs::Counter& exact_priced =
+      obs::Registry::global().counter("planner.exact_priced");
+  obs::Counter& probes = obs::Registry::global().counter("planner.probes");
+
+  static PlannerMetrics& get() {
+    static PlannerMetrics m;
+    return m;
+  }
+};
+
+double cube(double v) { return v * v * v; }
+
+/// Per-sub-domain octree shape at a representative (central) sub-domain.
+/// Metadata-only build — cheap at every (n, k, policy).
+struct BlockShape {
+  std::size_t samples = 0;  ///< retained samples (the Eqn-6 payload, exact)
+  std::size_t planes = 0;   ///< retained z-planes (drives the inverse stage)
+};
+
+BlockShape block_shape(i64 n, const core::LowCommParams& params) {
+  const Grid3 grid = Grid3::cube(n);
+  const i64 blocks = n / params.subdomain;
+  const i64 c = (blocks / 2) * params.subdomain;
+  const sampling::Octree tree(grid, Box3::cube_at({c, c, c}, params.subdomain),
+                              params.make_policy());
+  return {tree.total_samples(), tree.retained_z_planes().size()};
+}
+
+/// Uniform ranks-per-node of the topology, or 1 when nodes are uneven (the
+/// closed-form models assume uniform nodes; the exact stage does not).
+int uniform_ranks_per_node(const comm::Topology& topo) {
+  if (topo.nodes() == 0 || topo.ranks() % topo.nodes() != 0) return 1;
+  return topo.ranks() / topo.nodes();
+}
+
+bool routes_hierarchically(core::ExchangeRoute route,
+                           const comm::Topology& topo) {
+  if (route == core::ExchangeRoute::kFlat) return false;
+  if (route == core::ExchangeRoute::kHierarchical) return true;
+  return !topo.is_flat();
+}
+
+/// Largest batch (halving from the recommended size, floor 128) whose
+/// pipeline fits the device. Batch only trades throughput for pencil-stage
+/// bytes, so shrinking it never changes the numerics.
+std::size_t fit_batch(i64 n, const core::LowCommParams& params,
+                      std::size_t start, const device::DeviceSpec& device) {
+  core::LowCommParams p = params;
+  p.batch = start;
+  while (p.batch > 128) {
+    const auto plan =
+        device::plan_local_pipeline(n, p.subdomain, p.make_policy(), p.batch);
+    if (plan.actual_total() <= device.capacity_bytes) break;
+    p.batch /= 2;
+  }
+  return p.batch;
+}
+
+comm::LevelTraffic add_traffic(comm::LevelTraffic a,
+                               const comm::LevelTraffic& b) {
+  a.intra_bytes += b.intra_bytes;
+  a.inter_bytes += b.inter_bytes;
+  a.intra_messages += b.intra_messages;
+  a.inter_messages += b.inter_messages;
+  return a;
+}
+
+/// Closed-form price of a block candidate (screening stage).
+CandidateCost price_block(const PlanRequest& req, const Candidate& c) {
+  CandidateCost cost;
+  const core::LowCommParams& p = c.params;
+  const i64 n = req.n;
+  const i64 k = p.subdomain;
+
+  const i64 r_ext = p.uniform_rate.value_or(p.far_rate);
+  cost.predicted_rel_error = predicted_rel_error(n, k, r_ext, c.schedule);
+
+  const auto plan = device::plan_local_pipeline(n, k, p.make_policy(), p.batch);
+  cost.memory_bytes = plan.actual_total();
+
+  const BlockShape shape = block_shape(n, p);
+  const double subdomains = cube(static_cast<double>(n / k));
+  const double owned =
+      std::ceil(subdomains / static_cast<double>(std::max(req.ranks, 1)));
+
+  // Compute model, in transform point-passes: the xy stage touches n²·k
+  // points, the z stage runs every pencil forward (n³), and only the
+  // retained planes come back through the 2D inverse. log₂n passes each.
+  const double lg = std::log2(static_cast<double>(n));
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  const double per_subdomain =
+      (n2 * static_cast<double>(k) + n2 * static_cast<double>(n) +
+       n2 * static_cast<double>(shape.planes)) *
+      lg;
+  cost.compute_seconds = owned * per_subdomain / req.compute_rate_pps;
+
+  // Wire model: each rank ships its owned sub-domains' exact octree payload
+  // (the executable Eqn-6 volume), spread by the closed-form schedule.
+  const double bytes_per_rank =
+      owned * static_cast<double>(shape.samples) * sizeof(double);
+  const int g = uniform_ranks_per_node(req.topology);
+  comm::LevelTraffic traffic;
+  if (routes_hierarchically(c.route, req.topology) &&
+      req.ranks % std::max(g, 1) == 0) {
+    // Node-granularity packing dedups cells shared across a node's ranks.
+    // Banded trees tile cells one-per-sub-domain (no sharing, PR-6
+    // measurement); uniform-rate trees share 2–8×. The exact stage replaces
+    // this estimate with the real octree walk for the shortlist.
+    const double dedup =
+        c.schedule == RateSchedule::kUniform
+            ? std::clamp(static_cast<double>(g) / 2.0, 1.0, 8.0)
+            : 1.0;
+    traffic =
+        comm::hierarchical_exchange_traffic(req.ranks, g, bytes_per_rank,
+                                            dedup);
+  } else {
+    traffic = comm::flat_exchange_traffic(req.ranks, g, bytes_per_rank);
+  }
+  cost.exchange_bytes = static_cast<double>(traffic.total_bytes());
+  cost.wire = comm::predict_exchange_times(traffic, req.links);
+
+  if (cost.memory_bytes > req.device.capacity_bytes) {
+    cost.infeasible_reason =
+        "memory: needs " + std::to_string(cost.memory_bytes) +
+        " bytes, device '" + req.device.name + "' has " +
+        std::to_string(req.device.capacity_bytes);
+  } else if (cost.predicted_rel_error > req.max_rel_error) {
+    cost.infeasible_reason = "accuracy: predicted rel error exceeds target";
+  } else if (subdomains < static_cast<double>(req.ranks)) {
+    cost.infeasible_reason = "underfills cluster: fewer sub-domains than ranks";
+  } else {
+    cost.feasible = true;
+  }
+  return cost;
+}
+
+/// Price a slab/pencil baseline-FFT row (Eqn 1: all-to-all transpose stages
+/// each moving ~N³/P points; slab partitions need one, pencils two).
+CandidateCost price_baseline(const PlanRequest& req, DecompKind kind) {
+  CandidateCost cost;
+  const double n3 = cube(static_cast<double>(req.n));
+  const double p = static_cast<double>(req.ranks);
+  const int stages = kind == DecompKind::kSlab ? 1 : 2;
+
+  // Per-rank working set: the real input slice plus two complex copies
+  // (transform + transpose staging).
+  cost.memory_bytes = static_cast<std::size_t>(
+      n3 / p * (sizeof(double) + 2.0 * 2.0 * sizeof(double)));
+  cost.predicted_rel_error = 0.0;  // exact method
+
+  const double lg = std::log2(static_cast<double>(req.n));
+  cost.compute_seconds = 3.0 * n3 * lg / p / req.compute_rate_pps;
+
+  const int g = uniform_ranks_per_node(req.topology);
+  const double stage_bytes_per_rank =
+      n3 / p * 2.0 * sizeof(double);  // complex points
+  comm::LevelTraffic traffic;
+  for (int s = 0; s < stages; ++s) {
+    traffic = add_traffic(
+        traffic, comm::flat_exchange_traffic(req.ranks, g,
+                                             stage_bytes_per_rank));
+  }
+  cost.exchange_bytes = static_cast<double>(traffic.total_bytes());
+  cost.wire = comm::predict_exchange_times(traffic, req.links);
+
+  const double max_parts =
+      kind == DecompKind::kSlab
+          ? static_cast<double>(req.n)
+          : static_cast<double>(req.n) * static_cast<double>(req.n);
+  if (cost.memory_bytes > req.device.capacity_bytes) {
+    cost.infeasible_reason = "memory: baseline slice does not fit the device";
+  } else if (p > max_parts) {
+    cost.infeasible_reason = kind == DecompKind::kSlab
+                                 ? "more ranks than slabs (P > N)"
+                                 : "more ranks than pencils (P > N^2)";
+  } else {
+    cost.feasible = true;
+  }
+  return cost;
+}
+
+/// Repair a pinned k that DomainDecomposition would reject: the largest
+/// divisor of n not exceeding it (or the smallest divisor when the pin is
+/// below every divisor).
+i64 repair_subdomain(i64 n, i64 pinned) {
+  const auto divisors = core::subdomain_divisors(n);
+  for (const i64 d : divisors) {
+    if (d <= pinned) return d;
+  }
+  return divisors.back();
+}
+
+bool better(const RankedCandidate& a, const RankedCandidate& b) {
+  if (a.cost.feasible != b.cost.feasible) return a.cost.feasible;
+  return a.cost.total_seconds() < b.cost.total_seconds();
+}
+
+}  // namespace
+
+Mode mode_from_env() {
+  const char* env = std::getenv("LC_PLANNER");
+  if (env == nullptr) return Mode::kAnalytic;
+  const std::string_view v(env);
+  if (v == "off") return Mode::kOff;
+  if (v == "probe") return Mode::kProbe;
+  return Mode::kAnalytic;
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kProbe:
+      return "probe";
+    case Mode::kAnalytic:
+      break;
+  }
+  return "analytic";
+}
+
+std::string Candidate::name() const {
+  if (kind == DecompKind::kSlab) return "slab-fft";
+  if (kind == DecompKind::kPencil) return "pencil-fft";
+  std::string s = "block k=" + std::to_string(params.subdomain);
+  s += schedule == RateSchedule::kUniform ? " uniform r=" : " banded r=";
+  s += std::to_string(params.uniform_rate.value_or(params.far_rate));
+  s += route == core::ExchangeRoute::kHierarchical ? " hier" : " flat";
+  return s;
+}
+
+double predicted_rel_error(i64 n, i64 k, i64 exterior_rate,
+                           RateSchedule schedule) {
+  LC_CHECK_ARG(n >= k && k >= 1 && exterior_rate >= 1, "bad (n, k, r)");
+  if (exterior_rate <= 1) return 0.0;
+  // Calibrated against the paper's regime: ~2% at (N=128, k=32, r=4) and
+  // still under 3% at (N=1024, k=32, r=32) — interpolation error grows with
+  // log r but the coarse region sits farther out (relative to N) on larger
+  // grids where the field is smooth. Banded schedules keep the near field
+  // denser than uniform ones at equal far rate.
+  const double c = schedule == RateSchedule::kBanded ? 0.015 : 0.02;
+  return c * std::log2(static_cast<double>(exterior_rate)) *
+         std::sqrt(static_cast<double>(k) / static_cast<double>(n));
+}
+
+Planner::Planner(PlannerConfig config) : config_(std::move(config)) {
+  LC_CHECK_ARG(!config_.rate_grid.empty(), "rate grid must not be empty");
+}
+
+std::vector<RankedCandidate> Planner::enumerate(
+    const PlanRequest& req) const {
+  LC_TRACE("planner.enumerate");
+  LC_CHECK_ARG(req.n >= 2, "grid side must be >= 2");
+  LC_CHECK_ARG(req.ranks >= 1, "need at least one rank");
+  LC_CHECK_ARG(req.topology.ranks() == req.ranks,
+               "topology rank count must match the request");
+  LC_CHECK_ARG(req.compute_rate_pps > 0.0, "compute rate must be positive");
+
+  std::vector<core::ExchangeRoute> routes{core::ExchangeRoute::kFlat};
+  if (!req.topology.is_flat()) {
+    routes.push_back(core::ExchangeRoute::kHierarchical);
+  }
+
+  std::vector<RankedCandidate> out;
+  const auto push_block = [&](const core::LowCommParams& p,
+                              RateSchedule sched) {
+    for (const core::ExchangeRoute route : routes) {
+      Candidate c;
+      c.kind = DecompKind::kBlock;
+      c.schedule = sched;
+      c.route = route;
+      c.params = p;
+      out.push_back(RankedCandidate{c, price_block(req, c), 0.0});
+    }
+  };
+
+  if (req.pinned) {
+    // Pinned mode: validate / repair, never re-tune. Only an illegal k
+    // (does not divide N) or an over-budget batch is adjusted.
+    core::LowCommParams p = *req.pinned;
+    if (p.subdomain < 1 || req.n % p.subdomain != 0) {
+      p.subdomain = repair_subdomain(req.n, std::max<i64>(p.subdomain, 1));
+    }
+    p.batch = fit_batch(req.n, p, p.batch, req.device);
+    push_block(p, p.uniform_rate ? RateSchedule::kUniform
+                                 : RateSchedule::kBanded);
+  } else {
+    const std::size_t batch0 = core::recommended_batch(req.n);
+    for (const i64 k : core::subdomain_divisors(req.n)) {
+      if (k < config_.min_subdomain) continue;
+      for (const RateSchedule sched :
+           {RateSchedule::kBanded, RateSchedule::kUniform}) {
+        for (const i64 r : config_.rate_grid) {
+          if (r > k) continue;
+          core::LowCommParams p = req.base;
+          p.subdomain = k;
+          if (sched == RateSchedule::kUniform) {
+            p.uniform_rate = r;
+            p.far_rate = r;
+          } else {
+            p.uniform_rate.reset();
+            p.far_rate = r;
+          }
+          p.batch = fit_batch(req.n, p, batch0, req.device);
+          push_block(p, sched);
+        }
+      }
+    }
+    if (config_.include_baselines) {
+      for (const DecompKind kind : {DecompKind::kSlab, DecompKind::kPencil}) {
+        Candidate c;
+        c.kind = kind;
+        out.push_back(RankedCandidate{c, price_baseline(req, kind), 0.0});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), better);
+
+  // Exact stage: re-price the closed-form shortlist with the real static
+  // traffic mirror — the same per-level bytes/messages a SimCluster run
+  // records for the exchange. Worth it only when something actually moves.
+  if (req.ranks > 1) {
+    const Grid3 grid = Grid3::cube(req.n);
+    std::size_t repriced = 0;
+    for (auto& rc : out) {
+      if (repriced >= config_.exact_top) break;
+      if (rc.candidate.kind != DecompKind::kBlock || !rc.cost.feasible) {
+        continue;
+      }
+      const auto traffic = core::lowcomm_exchange_traffic(
+          grid, rc.candidate.params, req.topology, rc.candidate.route);
+      rc.cost.exchange_bytes = static_cast<double>(traffic.total_bytes());
+      rc.cost.wire = comm::predict_exchange_times(traffic, req.links);
+      rc.cost.exact_traffic = true;
+      PlannerMetrics::get().exact_priced.add(1);
+      ++repriced;
+    }
+    std::stable_sort(out.begin(), out.end(), better);
+  }
+  PlannerMetrics::get().candidates.add(out.size());
+  return out;
+}
+
+ExecutionPlan Planner::plan(const PlanRequest& req) const {
+  LC_TRACE("planner.plan");
+  std::vector<RankedCandidate> ranked = enumerate(req);
+  const auto executable = [](const RankedCandidate& rc) {
+    return rc.candidate.kind == DecompKind::kBlock && rc.cost.feasible;
+  };
+  std::size_t best = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (executable(ranked[i])) {
+      best = i;
+      break;
+    }
+  }
+  LC_CHECK_ARG(
+      best < ranked.size(),
+      "planner found no feasible block plan for N=" + std::to_string(req.n) +
+          " on device '" + req.device.name + "' at rel-error target " +
+          std::to_string(req.max_rel_error) +
+          " — relax the accuracy target or use a larger device");
+
+  if (config_.mode == Mode::kProbe) {
+    // Short real micro-runs of the top candidates; the pick becomes
+    // measured compute + modeled wire (wire cannot be executed without a
+    // cluster, and the static mirror is already byte-exact).
+    const ProbeFn probe =
+        config_.probe ? config_.probe : ProbeFn(probe_block_seconds);
+    double best_total = std::numeric_limits<double>::infinity();
+    std::size_t probed = 0;
+    for (std::size_t i = 0;
+         i < ranked.size() && probed < config_.probe_top; ++i) {
+      if (!executable(ranked[i])) continue;
+      ranked[i].probed_seconds = probe(req, ranked[i].candidate);
+      PlannerMetrics::get().probes.add(1);
+      ++probed;
+      const double total =
+          ranked[i].probed_seconds + ranked[i].cost.wire.total_seconds();
+      if (total < best_total) {
+        best_total = total;
+        best = i;
+      }
+    }
+  }
+
+  ExecutionPlan plan;
+  plan.choice = ranked[best].candidate;
+  plan.cost = ranked[best].cost;
+  plan.probed_seconds = ranked[best].probed_seconds;
+  plan.mode = config_.mode;
+  plan.ranked = std::move(ranked);
+  PlannerMetrics::get().plans.add(1);
+  return plan;
+}
+
+std::string cache_key(const PlanRequest& req, Mode mode) {
+  // "execplan/" keeps this namespace disjoint from the service's FFT-plan
+  // entries ("plan/n=<n>") in the same ResourceCache.
+  std::string key = "execplan/n=" + std::to_string(req.n);
+  key += "/p=" + std::to_string(req.ranks);
+  key += "/nodes=" + std::to_string(req.topology.nodes());
+  key += "/dev=" + req.device.name + ":" +
+         std::to_string(req.device.capacity_bytes);
+  key += "/acc=" + std::to_string(req.max_rel_error);
+  key += "/mode=" + std::string(mode_name(mode));
+  if (req.pinned) {
+    const core::LowCommParams& p = *req.pinned;
+    key += "/pin=k" + std::to_string(p.subdomain) + "r" +
+           std::to_string(p.far_rate) + "ur" +
+           (p.uniform_rate ? std::to_string(*p.uniform_rate)
+                           : std::string("-")) +
+           "bb" + std::to_string(p.boundary_band) + "dh" +
+           std::to_string(p.dense_halo) + "B" + std::to_string(p.batch) +
+           "i" + std::to_string(static_cast<int>(p.interpolation));
+  } else {
+    key += "/pin=-";
+  }
+  return key;
+}
+
+RealField execute_plan(comm::SimCluster& cluster, const RealField& input,
+                       std::shared_ptr<const green::KernelSpectrum> kernel,
+                       const ExecutionPlan& plan) {
+  return core::distributed_lowcomm_convolve(cluster, input, input.grid(),
+                                            std::move(kernel), plan.params(),
+                                            plan.route());
+}
+
+}  // namespace lc::planner

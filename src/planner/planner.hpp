@@ -1,0 +1,203 @@
+// Auto-tuning execution planner — a query optimizer for convolutions
+// (ROADMAP item 2, DESIGN.md §15).
+//
+// The paper fixes one k³ sub-domain scheme and hand-tunes (k, r, B) per
+// problem size (§5.4); the related work (Duy & Ozaki's minimum-communication
+// decomposition, P3DFFT's slab-vs-pencil choice, OpenFFT's empirical
+// auto-tuning) shows the win is in *choosing* the decomposition. Given a
+// PlanRequest — problem size N, rank count P, comm::Topology, per-level
+// α-β link model, device memory budget, accuracy target — the Planner:
+//
+//   1. enumerates candidates: k³ block decompositions over the divisors of
+//      N × {banded, uniform} octree rate schedules × {flat, hierarchical}
+//      exchange routes, plus slab/pencil variants of the baseline
+//      distributed FFT for comparison;
+//   2. prices each with the analytic models: Eqn 6 volume (per-sub-domain
+//      retained samples from a real metadata-only octree), Eqn 2 per-level
+//      α-β wire time via comm::predict_exchange_times, a transform-work
+//      compute model, and device::plan_local_pipeline feasibility against
+//      the device capacity;
+//   3. re-prices the closed-form shortlist with the EXACT static traffic
+//      mirror (core::lowcomm_exchange_traffic over the real octrees — the
+//      same numbers a SimCluster run records);
+//   4. in probe mode, runs short real micro-runs of the top candidates and
+//      picks by measured compute + modeled wire time;
+//   5. emits a ranked ExecutionPlan with predicted (and probed) costs.
+//
+// Winning plans are cached by the runtime layer (runtime/plan_provider.hpp)
+// in the ResourceCache keyed by (shape, topology, device, accuracy, mode).
+// The LC_PLANNER environment variable (off | analytic | probe) selects the
+// mode process-wide; `off` bypasses planning entirely.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/topology.hpp"
+#include "core/pipeline.hpp"
+#include "device/device.hpp"
+
+namespace lc::planner {
+
+/// Planner operating mode (LC_PLANNER escape hatch).
+enum class Mode {
+  kOff,       ///< bypass the planner; callers use their own static params
+  kAnalytic,  ///< model-only pricing (default)
+  kProbe,     ///< analytic + real micro-runs of the top candidates
+};
+
+/// LC_PLANNER=off|analytic|probe (unset or unrecognised → analytic).
+[[nodiscard]] Mode mode_from_env();
+[[nodiscard]] const char* mode_name(Mode mode);
+
+/// Decomposition family of a candidate.
+enum class DecompKind {
+  kBlock,   ///< the paper's k³ sub-domains + octree exchange (executable)
+  kSlab,    ///< baseline distributed FFT, 1D slab partition (comparison row)
+  kPencil,  ///< baseline distributed FFT, 2D pencil partition (comparison row)
+};
+
+/// Octree rate schedule of a block candidate.
+enum class RateSchedule {
+  kBanded,   ///< paper_default distance bands up to far_rate
+  kUniform,  ///< one uniform exterior rate (Table 3 rows)
+};
+
+/// What to plan for.
+struct PlanRequest {
+  i64 n = 0;                                   ///< grid side (N³ problem)
+  int ranks = 1;                               ///< worker count P
+  comm::Topology topology = comm::Topology::flat(1);
+  comm::HierarchicalLinkModel links{};         ///< per-level α-β params
+  device::DeviceSpec device = device::DeviceSpec::unlimited();
+  double max_rel_error = 0.05;                 ///< accuracy target (rel L2)
+  /// Modeled local transform throughput, in point-passes per second per
+  /// rank (one pass = one point through one 1D transform stage). Only the
+  /// compute-vs-wire balance depends on it, not the candidate ordering
+  /// within equal-compute families.
+  double compute_rate_pps = 2e8;
+  /// Template for fields the planner does not search over (interpolation,
+  /// boundary band, dense halo).
+  core::LowCommParams base{};
+  /// Pinned mode: validate / repair exactly these params instead of
+  /// searching (the service path for requests with explicit params). The
+  /// planner only fixes a k that does not divide N and a batch that does
+  /// not fit memory; everything else passes through unchanged.
+  std::optional<core::LowCommParams> pinned;
+};
+
+/// One enumerated execution alternative.
+struct Candidate {
+  DecompKind kind = DecompKind::kBlock;
+  RateSchedule schedule = RateSchedule::kBanded;
+  core::ExchangeRoute route = core::ExchangeRoute::kFlat;
+  core::LowCommParams params{};  ///< fully populated for kBlock
+  [[nodiscard]] std::string name() const;
+};
+
+/// Analytic price of a candidate.
+struct CandidateCost {
+  bool feasible = false;          ///< memory + accuracy + divisibility
+  std::string infeasible_reason;  ///< empty when feasible
+  std::size_t memory_bytes = 0;   ///< per-rank peak (PipelinePlan actual)
+  double predicted_rel_error = 0.0;
+  double exchange_bytes = 0.0;    ///< modeled wire bytes, both levels
+  comm::LevelTimes wire{};        ///< per-level α-β seconds
+  double compute_seconds = 0.0;   ///< modeled per-rank compute
+  bool exact_traffic = false;     ///< true → priced from the real octrees
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return wire.total_seconds() + compute_seconds;
+  }
+};
+
+/// A candidate with its price (and probe measurement, when probed).
+struct RankedCandidate {
+  Candidate candidate;
+  CandidateCost cost;
+  double probed_seconds = 0.0;  ///< measured compute; 0 = not probed
+};
+
+/// The planner's output: the selected plan plus the full ranking.
+struct ExecutionPlan {
+  Candidate choice;         ///< best feasible kBlock candidate
+  CandidateCost cost;       ///< its price
+  double probed_seconds = 0.0;
+  Mode mode = Mode::kAnalytic;
+  std::vector<RankedCandidate> ranked;  ///< all candidates, best first
+
+  [[nodiscard]] const core::LowCommParams& params() const noexcept {
+    return choice.params;
+  }
+  [[nodiscard]] core::ExchangeRoute route() const noexcept {
+    return choice.route;
+  }
+};
+
+/// Probe hook: measured per-rank compute seconds for a candidate. The
+/// default (probe.hpp) times a real single-sub-domain micro-run; tests
+/// inject deterministic stubs.
+using ProbeFn = std::function<double(const PlanRequest&, const Candidate&)>;
+
+/// Planner tuning knobs.
+struct PlannerConfig {
+  Mode mode = Mode::kAnalytic;
+  /// Exterior rates tried per (k, schedule). Rates above the accuracy
+  /// target's tolerance are marked infeasible, not silently dropped.
+  std::vector<i64> rate_grid = {2, 4, 8, 16, 32};
+  i64 min_subdomain = 4;
+  /// Closed-form shortlist size re-priced with the exact traffic mirror.
+  std::size_t exact_top = 4;
+  /// Feasible block candidates micro-probed in kProbe mode.
+  std::size_t probe_top = 3;
+  /// Include slab/pencil baseline-FFT rows in the ranking (informational;
+  /// the selected plan is always a block candidate).
+  bool include_baselines = true;
+  /// Probe implementation (defaults to probe_block_seconds).
+  ProbeFn probe;
+};
+
+/// The planner. Stateless between calls; cheap to construct.
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config = {});
+
+  [[nodiscard]] const PlannerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Enumerate and price every candidate, best (feasible, cheapest) first.
+  [[nodiscard]] std::vector<RankedCandidate> enumerate(
+      const PlanRequest& request) const;
+
+  /// Full planning pass → selected plan. Throws InvalidArgument when no
+  /// feasible block candidate exists (memory or accuracy exhausted).
+  [[nodiscard]] ExecutionPlan plan(const PlanRequest& request) const;
+
+ private:
+  PlannerConfig config_;
+};
+
+/// ResourceCache key for a request: (shape, topology, device, accuracy,
+/// mode, pinned knobs). Kernel-independent by design — plans are shared
+/// across kernels because no cost model term depends on the kernel.
+[[nodiscard]] std::string cache_key(const PlanRequest& request, Mode mode);
+
+/// Closed-form accuracy heuristic (monotone increasing in the exterior
+/// rate, decreasing in N/k): the planning-side stand-in for the paper's
+/// measured ≤3% L2 error at its default hyperparameters.
+[[nodiscard]] double predicted_rel_error(i64 n, i64 k, i64 exterior_rate,
+                                         RateSchedule schedule);
+
+/// Run a selected plan on a cluster (forwards params + route to
+/// core::distributed_lowcomm_convolve).
+[[nodiscard]] RealField execute_plan(
+    comm::SimCluster& cluster, const RealField& input,
+    std::shared_ptr<const green::KernelSpectrum> kernel,
+    const ExecutionPlan& plan);
+
+}  // namespace lc::planner

@@ -1,0 +1,80 @@
+#include "planner/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "core/accumulator.hpp"
+#include "green/gaussian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/field.hpp"
+
+namespace lc::planner {
+
+namespace {
+
+/// Deterministic pseudo-random field (same LCG family the tests use): the
+/// probe must measure identical work every time it prices a candidate.
+RealField probe_input(const Grid3& grid) {
+  RealField f(grid);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (double& v : f.span()) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<double>(state >> 11) * 0x1.0p-53 - 0.5;
+  }
+  return f;
+}
+
+}  // namespace
+
+double probe_block_seconds(const PlanRequest& request,
+                           const Candidate& candidate) {
+  LC_TRACE("planner.probe");
+  LC_CHECK_ARG(candidate.kind == DecompKind::kBlock,
+               "only block candidates can be probed");
+  static obs::Counter& runs =
+      obs::Registry::global().counter("planner.probe_runs");
+  runs.add(1);
+
+  const Grid3 grid = Grid3::cube(request.n);
+  // Any smooth kernel exercises the same pipeline stages; the cost model is
+  // kernel-independent, so the probe is too.
+  auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  core::LocalConvolverConfig config;
+  config.batch = candidate.params.batch;
+  config.pool = nullptr;  // measure one rank's serial pipeline
+  const core::LowCommConvolution engine(grid, std::move(kernel),
+                                        candidate.params, config);
+
+  const RealField input = probe_input(grid);
+  const std::size_t count = engine.decomposition().count();
+  const std::size_t d = count / 2;  // central: representative octree shape
+  const Box3 region = engine.decomposition().subdomain(d);
+
+  const auto run_once = [&]() {
+    std::vector<sampling::CompressedField> contrib;
+    contrib.push_back(engine.convolve_one(input, d));
+    const RealField acc = core::accumulate_region(
+        contrib, region, candidate.params.interpolation, nullptr);
+    return acc.span().size();
+  };
+
+  (void)run_once();  // warm the FFT plan and octree caches
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    Stopwatch sw;
+    (void)run_once();
+    best = std::min(best, sw.seconds());
+  }
+
+  const double owned = std::ceil(static_cast<double>(count) /
+                                 static_cast<double>(std::max(request.ranks, 1)));
+  return best * owned;
+}
+
+}  // namespace lc::planner

@@ -1,0 +1,20 @@
+// Micro-probe for kProbe mode: a short REAL run of one sub-domain through
+// the actual local pipeline (decompose → convolve_one → accumulate_region),
+// scaled to the per-rank sub-domain count. This replaces the analytic
+// compute model with a measurement while the wire time stays modeled (there
+// is no cluster to execute against at planning time — and the static
+// traffic mirror is already byte-exact).
+#pragma once
+
+#include "planner/planner.hpp"
+
+namespace lc::planner {
+
+/// Measured per-rank compute seconds for a kBlock candidate: time one
+/// central sub-domain (warm once, best of two) and multiply by the number
+/// of sub-domains a rank owns. Throws InvalidArgument for non-block
+/// candidates.
+[[nodiscard]] double probe_block_seconds(const PlanRequest& request,
+                                         const Candidate& candidate);
+
+}  // namespace lc::planner

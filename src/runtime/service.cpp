@@ -12,6 +12,7 @@
 #include "fft/fft1d.hpp"
 #include "green/kernel.hpp"
 #include "obs/trace.hpp"
+#include "runtime/plan_provider.hpp"
 #include "sampling/octree.hpp"
 
 namespace lc::runtime {
@@ -146,6 +147,11 @@ ConvolutionService::ConvolutionService(ServiceConfig config)
                }
              }),
       cache_(ResourceCache::Config{config.cache_budget_bytes, &device_, 16}),
+      planner_([&config] {
+        planner::PlannerConfig pc;
+        pc.mode = config.planner_mode;
+        return planner::Planner(pc);
+      }()),
       paused_(config.start_paused) {
   LC_CHECK_ARG(config_.queue_capacity >= 1, "queue capacity must be >= 1");
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -335,6 +341,21 @@ void ConvolutionService::run_wave(Wave& wave) {
     }
 
     try {
+      if (config_.planner_mode != planner::Mode::kOff) {
+        // Resolve the request's params through the planner: explicit params
+        // are validated / repaired, subdomain == 0 asks for a full search.
+        // Keyed cache lookup — repeat shapes skip enumeration entirely.
+        planner::PlanRequest preq;
+        preq.n = job->request.input.grid().nx;
+        preq.device = config_.device;
+        preq.base = job->request.params;
+        if (job->request.params.subdomain != 0) {
+          preq.pinned = job->request.params;
+        }
+        const auto plan =
+            plan_cached(cache_, planner_, preq, &job->stats.plan_cache_hit);
+        job->request.params = plan->params();
+      }
       job->engine_key = engine_key_of(job->request);
       if (config_.cache_results) {
         std::string scope = "full";

@@ -37,6 +37,7 @@
 #include "core/pipeline.hpp"
 #include "device/device.hpp"
 #include "obs/metrics.hpp"
+#include "planner/planner.hpp"
 #include "runtime/resource_cache.hpp"
 
 namespace lc::runtime {
@@ -74,6 +75,14 @@ struct ServiceConfig {
   bool materialize_spectra = false;
   /// Simulated device the service accounts all resident bytes against.
   device::DeviceSpec device = device::DeviceSpec::unlimited();
+  /// Execution-planner mode (defaults to the LC_PLANNER environment
+  /// variable). kOff dispatches every request with exactly its own params —
+  /// the pre-planner behaviour, bit for bit. Otherwise request params are
+  /// resolved through the planner first: explicit params are validated /
+  /// repaired (an illegal k that does not divide N, an over-budget batch),
+  /// and `params.subdomain == 0` asks for a full auto-tuned plan. Winning
+  /// plans are cached in the resource cache (runtime/plan_provider.hpp).
+  planner::Mode planner_mode = planner::mode_from_env();
   /// Pool the dispatch waves fan out on (nullptr → serial waves).
   ThreadPool* pool = &ThreadPool::global();
   /// Start with dispatch paused (deterministic admission tests).
@@ -101,6 +110,7 @@ struct RequestStats {
   double run_seconds = 0.0;     ///< wave pickup → response ready
   bool result_cache_hit = false;
   bool engine_cache_hit = false;
+  bool plan_cache_hit = false;  ///< execution plan found warm in the cache
   std::size_t subdomains = 0;   ///< sub-domain tasks this request spanned
 };
 
@@ -187,6 +197,7 @@ class ConvolutionService {
   device::DeviceContext device_;
   BufferArena arena_;
   ResourceCache cache_;
+  planner::Planner planner_;
 
   mutable std::mutex mutex_;  // queue + counters
   std::condition_variable dispatch_cv_;

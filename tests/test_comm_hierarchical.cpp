@@ -326,12 +326,16 @@ TEST_F(LowCommPipelineHierarchical, StaticTrafficMirrorsExecutedStats) {
 TEST_F(LowCommPipelineHierarchical, GroupedRouteCutsInterNodeBytes) {
   // The acceptance shape of the PR at test scale: with coarse cells
   // straddling several ranks' regions, packing per NODE dedups the
-  // inter-node volume strictly below the flat route's.
+  // inter-node volume strictly below the flat route's. 12 ranks over the 64
+  // sub-domains leave uneven Morton runs that straddle octants — under the
+  // blocked assignment an octant-aligned rank count (e.g. 8) gives every
+  // rank a cell-aligned cube, node-local sharing vanishes, and the two
+  // routes tie on bytes (locality already captured the dedup win).
   const Grid3 g = Grid3::cube(64);
   const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
   const auto p = params(16, 4);
   const core::LowCommConvolution engine(g, kernel, p);
-  const Topology topo = Topology::grouped(8, 4);
+  const Topology topo = Topology::grouped(12, 4);
 
   const auto flat =
       core::lowcomm_exchange_traffic(engine, topo, core::ExchangeRoute::kFlat);

@@ -43,16 +43,81 @@ TEST(Decomposition, SingleDomainWhenKEqualsN) {
   EXPECT_EQ(d.subdomain(0), Box3::of(Grid3::cube(32)));
 }
 
-TEST(Decomposition, RoundRobinAssignmentCoversAll) {
+TEST(Decomposition, AssignmentsCoverAllWithoutOverlap) {
   const DomainDecomposition d(Grid3::cube(64), 16);
-  std::vector<int> owner(d.count(), -1);
-  for (int r = 0; r < 3; ++r) {
-    for (const auto i : d.assigned_to(r, 3)) {
-      EXPECT_EQ(owner[i], -1);
-      owner[i] = r;
+  for (const auto how : {Assignment::kBlockedMorton, Assignment::kRoundRobin}) {
+    std::vector<int> owner(d.count(), -1);
+    for (int r = 0; r < 3; ++r) {
+      for (const auto i : d.assigned_to(r, 3, how)) {
+        EXPECT_EQ(owner[i], -1);
+        owner[i] = r;
+      }
     }
+    for (const int o : owner) EXPECT_NE(o, -1);
   }
-  for (const int o : owner) EXPECT_NE(o, -1);
+}
+
+TEST(Decomposition, BlockedMortonAssignmentIsSpatiallyCompact) {
+  // 64 sub-domains over 8 ranks: each rank's blocked-Morton share must be
+  // one 2x2x2 octant (a 32-cube), while round-robin scatters every rank
+  // across the whole grid. Compactness is what makes node-grouped ranks
+  // share octree cells — the locality the hierarchical exchange and the
+  // planner's node-dedup model rely on.
+  const DomainDecomposition d(Grid3::cube(64), 16);
+  for (int r = 0; r < 8; ++r) {
+    const auto mine = d.assigned_to(r, 8, Assignment::kBlockedMorton);
+    ASSERT_EQ(mine.size(), 8u);
+    Box3 hull = d.subdomain(mine.front());
+    for (const auto i : mine) {
+      const Box3& b = d.subdomain(i);
+      hull.lo = {std::min(hull.lo.x, b.lo.x), std::min(hull.lo.y, b.lo.y),
+                 std::min(hull.lo.z, b.lo.z)};
+      hull.hi = {std::max(hull.hi.x, b.hi.x), std::max(hull.hi.y, b.hi.y),
+                 std::max(hull.hi.z, b.hi.z)};
+    }
+    EXPECT_EQ(hull.extents().size(), Grid3::cube(32).size())
+        << "rank " << r << " does not own a compact octant";
+  }
+  const auto scattered = d.assigned_to(0, 8, Assignment::kRoundRobin);
+  EXPECT_EQ(scattered, (std::vector<std::size_t>{0, 8, 16, 24, 32, 40, 48, 56}));
+}
+
+TEST(Hyperparams, SubdomainDivisorsDescendAndDivide) {
+  const auto divs = core::subdomain_divisors(96);
+  ASSERT_FALSE(divs.empty());
+  EXPECT_EQ(divs.front(), 96);
+  EXPECT_EQ(divs.back(), 2);
+  for (std::size_t i = 0; i + 1 < divs.size(); ++i) {
+    EXPECT_GT(divs[i], divs[i + 1]);
+  }
+  for (const i64 k : divs) EXPECT_EQ(96 % k, 0);
+}
+
+TEST(Hyperparams, SelectedSubdomainAlwaysDividesN) {
+  // N = 96 on an unlimited device: the pow2 memory probe reports 64, which
+  // does not divide 96 — the advice must fall back to a real divisor, not
+  // hand DomainDecomposition an illegal k.
+  for (const i64 n : {i64{96}, i64{72}, i64{128}, i64{48}}) {
+    const auto advice =
+        core::select_hyperparams(n, device::DeviceSpec::unlimited());
+    EXPECT_GE(advice.subdomain, 1);
+    EXPECT_EQ(n % advice.subdomain, 0)
+        << "k=" << advice.subdomain << " does not divide N=" << n;
+    const DomainDecomposition d(Grid3::cube(n), advice.subdomain);
+    EXPECT_GE(d.count(), 1u);
+  }
+}
+
+TEST(Hyperparams, ImpossibleDeviceGivesClearError) {
+  const device::DeviceSpec tiny{"toy", 1024};
+  try {
+    (void)core::select_hyperparams(4096, tiny);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("toy"), std::string::npos);
+    EXPECT_NE(what.find("4096"), std::string::npos);
+  }
 }
 
 TEST(Decomposition, RejectsIndivisibleShapes) {
