@@ -14,7 +14,10 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "common/rng.hpp"
@@ -237,15 +240,28 @@ int run_json_probe() {
   lc::bench::JsonWriter json("fft_micro");
   json.meta("simd_backend", std::string(simd::kBackend));
   json.meta("units", "mitems_per_s");
-  json.header({"case", "n", "batch", "path", "mitems_per_s"});
+  json.header({"case", "n", "batch", "path", "mitems_per_s", "gated"});
+
+  const auto emit = [&](const char* name, std::size_t n, std::size_t batch,
+                        const char* path, bool gated,
+                        const std::function<void()>& op) {
+    const double rate = probe_mitems(op, n * batch);
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.1f", rate);
+    json.row({name, std::to_string(n), std::to_string(batch), path, num,
+              gated ? "1" : "0"});
+    std::printf("%-18s n=%-4zu B=%-3zu %-7s %8.1f Mitems/s%s\n", name, n,
+                batch, path, rate, gated ? "  [gated]" : "");
+  };
 
   struct Case {
     const char* name;
     std::size_t n;
     std::size_t batch;
   };
-  // The pow2 rows are the regression gate; the Bluestein row is
-  // informational (checker only gates "batch" rows of pow2 cases).
+  // The pow2 batch rows are the regression gate; the Bluestein row is
+  // informational (the chirp length's allocator behaviour adds noise), as
+  // are the scalar rows (the reference path).
   const Case cases[] = {{"pencil_pow2", 128, 8},
                         {"pencil_pow2", 128, 32},
                         {"pencil_pow2", 256, 8},
@@ -255,20 +271,52 @@ int run_json_probe() {
     Fft1D plan(c.n);
     FftWorkspace ws;
     auto data = random_signal(c.n * c.batch);
-    const auto run_path = [&](const char* path, auto&& op) {
-      const double rate = probe_mitems(op, c.n * c.batch);
-      char num[32];
-      std::snprintf(num, sizeof(num), "%.1f", rate);
-      json.row({c.name, std::to_string(c.n), std::to_string(c.batch), path,
-                num});
-      std::printf("%-18s n=%-4zu B=%-3zu %-7s %8.1f Mitems/s\n", c.name, c.n,
-                  c.batch, path, rate);
-    };
-    run_path("scalar", [&] {
+    const bool gate = std::string_view(c.name) == "pencil_pow2";
+    emit(c.name, c.n, c.batch, "scalar", false, [&] {
       plan.forward_strided(data.data(), 1, c.n, c.batch, ws);
     });
-    run_path("batch", [&] {
+    emit(c.name, c.n, c.batch, "batch", gate, [&] {
       plan.forward_batch(data.data(), 1, c.n, c.batch, ws);
+    });
+  }
+
+  // Real half-spectrum pencils (r2c forward / c2r inverse): the batched
+  // rows are the LocalConvolver real-path substrate (LC_REAL) and gate
+  // alongside the complex pencils; the per-pencil scalar rows are the
+  // reference.
+  struct RealCase {
+    std::size_t n;
+    std::size_t batch;
+  };
+  const RealCase rcases[] = {{128, 32}, {256, 32}};
+  for (const auto& c : rcases) {
+    RealFft1D plan(c.n);
+    FftWorkspace ws;
+    SplitMix64 rng(c.n);
+    std::vector<double> in(c.n * c.batch);
+    for (auto& v : in) v = rng.uniform(-1, 1);
+    const std::size_t sbins = plan.spectrum_size();
+    std::vector<cplx> spec(sbins * c.batch);
+    std::vector<double> out(c.n * c.batch);
+    emit("r2c_pow2", c.n, c.batch, "scalar", false, [&] {
+      for (std::size_t p = 0; p < c.batch; ++p) {
+        plan.forward(std::span(in).subspan(p * c.n, c.n),
+                     std::span(spec).subspan(p * sbins, sbins), ws);
+      }
+    });
+    emit("r2c_pow2", c.n, c.batch, "batch", true, [&] {
+      plan.forward_batch(in.data(), 1, c.n, spec.data(), 1, sbins, c.batch,
+                         ws);
+    });
+    emit("c2r_pow2", c.n, c.batch, "scalar", false, [&] {
+      for (std::size_t p = 0; p < c.batch; ++p) {
+        plan.inverse(std::span(std::as_const(spec)).subspan(p * sbins, sbins),
+                     std::span(out).subspan(p * c.n, c.n), ws);
+      }
+    });
+    emit("c2r_pow2", c.n, c.batch, "batch", true, [&] {
+      plan.inverse_batch(spec.data(), 1, sbins, out.data(), 1, c.n, c.batch,
+                         ws);
     });
   }
   const std::string path = json.write();

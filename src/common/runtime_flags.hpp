@@ -1,0 +1,22 @@
+// Process-wide execution-path flags read from the environment.
+//
+// LC_REAL=auto|off gates the Hermitian half-spectrum (r2c/c2r) execution
+// path of the local pipeline (DESIGN.md §16). `auto` (the default) lets
+// engines whose spectral operator is Hermitian-symmetric transform only
+// the nx/2+1 x-bins; `off` forces the full complex path everywhere — the
+// bit-exact ground truth the real path is validated against.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lc {
+
+/// True unless LC_REAL=off. Read per call (engine construction only, never
+/// inner loops) so tests can toggle the environment between engines.
+[[nodiscard]] inline bool real_path_enabled() noexcept {
+  const char* env = std::getenv("LC_REAL");
+  return env == nullptr || std::strcmp(env, "off") != 0;
+}
+
+}  // namespace lc

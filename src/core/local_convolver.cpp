@@ -1,10 +1,12 @@
 #include "core/local_convolver.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/runtime_flags.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -26,6 +28,24 @@ LocalConvolver::LocalConvolver(const Grid3& grid,
     fft_n_ = config_.plan;
   } else {
     fft_n_ = std::make_shared<fft::Fft1D>(static_cast<std::size_t>(grid.nx));
+  }
+  using RealPath = LocalConvolverConfig::RealPath;
+  if (config_.real == RealPath::kForce) {
+    LC_CHECK_ARG(op_->hermitian(),
+                 "RealPath::kForce requires a Hermitian operator");
+  }
+  real_path_ = config_.real != RealPath::kOff && op_->hermitian() &&
+               (config_.real == RealPath::kForce || real_path_enabled());
+  if (real_path_) {
+    if (config_.real_plan != nullptr) {
+      LC_CHECK_ARG(
+          config_.real_plan->size() == static_cast<std::size_t>(grid.nx),
+          "injected real plan length != grid side");
+      rfft_n_ = config_.real_plan;
+    } else {
+      rfft_n_ =
+          std::make_shared<fft::RealFft1D>(static_cast<std::size_t>(grid.nx));
+    }
   }
 }
 
@@ -112,40 +132,48 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
                "octree sub-domain must match the chunk box");
 
   const auto un = static_cast<std::size_t>(n);
+  const auto uk = static_cast<std::size_t>(k);
   const std::size_t plane_elems = un * un;
+  // Real path: spectral planes hold only the nx/2+1 x-bins (Hermitian
+  // half-spectrum), y-major so a z-pencil is a unit-stride run of p.
+  const std::size_t nxh = un / 2 + 1;
+  const std::size_t spec_elems = real_path_ ? nxh * un : plane_elems;
   const std::vector<i64> planes = tree->retained_z_planes();
 
   // --- Device-registered buffer footprint (scaled by channel count) ------
   ScopedDeviceAlloc chunk_mem(config_.device,
                               nchan * chunks[0].size() * sizeof(double));
-  ScopedDeviceAlloc slab_mem(
-      config_.device,
-      nchan * plane_elems * static_cast<std::size_t>(k) * sizeof(cplx));
+  ScopedDeviceAlloc slab_mem(config_.device,
+                             nchan * spec_elems * uk * sizeof(cplx));
   ScopedDeviceAlloc staging_mem(
-      config_.device, nchan * plane_elems * planes.size() * sizeof(cplx));
+      config_.device, nchan * spec_elems * planes.size() * sizeof(cplx));
   ScopedDeviceAlloc pencil_mem(
       config_.device, 2 * nchan * config_.batch * un * sizeof(cplx));
   // cuFFT-like plan workspace model: double-precision c2c plans may need
   // scratch up to twice the transform size — 2× one slab for the batched
-  // 2D plan plus one pencil batch for the z-plan (see device::memory_model;
-  // the two models are kept identical so measured peaks match plans).
+  // 2D plan plus one pencil batch for the z-plan, plus (real path) the N²
+  // real plane the c2r store lane writes (see device::memory_model; the
+  // two models are kept identical so measured peaks match plans).
   ScopedDeviceAlloc workspace_mem(
       config_.device,
-      2 * plane_elems * static_cast<std::size_t>(k) * sizeof(cplx) +
-          config_.batch * un * sizeof(cplx));
+      2 * spec_elems * uk * sizeof(cplx) + config_.batch * un * sizeof(cplx) +
+          (real_path_ ? plane_elems * sizeof(double) : 0));
 
   std::vector<sampling::CompressedField> results;
   results.reserve(nchan);
   for (std::size_t c = 0; c < nchan; ++c) results.emplace_back(tree);
   ScopedDeviceAlloc payload_mem(config_.device,
                                 nchan * results[0].sample_bytes());
+  // Octree cell metadata (5 int32 per cell, shared across channels) — the
+  // sampling callbacks read it on-device, and the memory model prices it.
+  ScopedDeviceAlloc metadata_mem(
+      config_.device, tree->cells().size() * 5 * sizeof(std::int32_t));
 
   // Slab / staging scratch comes from the arena when one is wired in, so a
   // serving runtime recycles these multi-MB buffers between requests
   // instead of re-faulting fresh pages. The unpooled fallback keeps one
   // code path.
-  const std::size_t slab_elems =
-      nchan * plane_elems * static_cast<std::size_t>(k);
+  const std::size_t slab_elems = nchan * spec_elems * uk;
   auto slab_lease = config_.arena != nullptr
                         ? config_.arena->acquire(slab_elems * sizeof(cplx))
                         : BufferArena::unpooled(slab_elems * sizeof(cplx));
@@ -154,7 +182,7 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
   // (recycled buffers carry the previous request's data).
   std::fill(slab.begin(), slab.end(), cplx{0.0, 0.0});
   const auto slab_of = [&](std::size_t ch) {
-    return slab.data() + ch * plane_elems * static_cast<std::size_t>(k);
+    return slab.data() + ch * spec_elems * uk;
   };
 
   // --- Stage 1: zero-pad xy per slice, 2D transform into slabs ------------
@@ -162,13 +190,26 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
   LC_TRACE("convolver.stage1_xy");
   ScopedTimer stage_timer(ConvolverMetrics::get().stage1);
   run_blocks(
-      config_.pool, static_cast<std::size_t>(k) * nchan,
+      config_.pool, uk * nchan,
       [&](std::size_t lo, std::size_t hi, fft::FftWorkspace& ws) {
         LC_TRACE("convolver.stage1.block");
         for (std::size_t job = lo; job < hi; ++job) {
-          const std::size_t ch = job / static_cast<std::size_t>(k);
-          const auto zl = static_cast<i64>(job % static_cast<std::size_t>(k));
-          cplx* plane = slab_of(ch) + static_cast<std::size_t>(zl) * plane_elems;
+          const std::size_t ch = job / uk;
+          const auto zl = static_cast<i64>(job % uk);
+          cplx* plane = slab_of(ch) + static_cast<std::size_t>(zl) * spec_elems;
+          if (real_path_) {
+            // r2c straight off the chunk rows: the pruned window supplies
+            // the x zero-padding (no complex scatter at all), rows outside
+            // [corner.y, corner.y + k) keep the slab's zero fill.
+            rfft_n_->forward_batch_pruned(
+                &chunks[ch](0, 0, zl), 1, uk, uk,
+                static_cast<std::size_t>(corner.x),
+                plane + static_cast<std::size_t>(corner.y) * nxh, 1, nxh, uk,
+                ws);
+            // y transform: the nx/2+1 retained x-bins, full length N.
+            fft_n_->forward_batch(plane, nxh, 1, nxh, ws);
+            continue;
+          }
           // Scatter the chunk slice; the rest of the plane stays zero.
           for (i64 y = 0; y < k; ++y) {
             cplx* row = plane +
@@ -189,17 +230,20 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
 
   // --- Stage 2: batched z pencils with the per-bin operator ---------------
   // Staging needs no zero fill: every pencil writes every retained plane.
-  const std::size_t staging_elems = nchan * planes.size() * plane_elems;
+  const std::size_t staging_elems = nchan * planes.size() * spec_elems;
   auto staging_lease =
       config_.arena != nullptr
           ? config_.arena->acquire(staging_elems * sizeof(cplx))
           : BufferArena::unpooled(staging_elems * sizeof(cplx));
   const std::span<cplx> staging = staging_lease.as<cplx>();
   const auto staging_plane = [&](std::size_t ch, std::size_t i) {
-    return staging.data() + (ch * planes.size() + i) * plane_elems;
+    return staging.data() + (ch * planes.size() + i) * spec_elems;
   };
 
-  const std::size_t pencils = plane_elems;
+  // Real path: half as many z-pencils — the tentpole FLOP saving. Pencil
+  // p decodes as (x, y) = (p % nxh, p / nxh) on the half plane.
+  const std::size_t xbins = real_path_ ? nxh : un;
+  const std::size_t pencils = spec_elems;
   const std::size_t batches = (pencils + config_.batch - 1) / config_.batch;
   {
   LC_TRACE("convolver.stage2_z");
@@ -225,14 +269,16 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
           // tile (offset = global corner.z; only k inputs are nonzero).
           for (std::size_t ch = 0; ch < nchan; ++ch) {
             fft_n_->forward_batch_pruned(
-                slab_of(ch) + p0, plane_elems, 1, static_cast<std::size_t>(k),
+                slab_of(ch) + p0, spec_elems, 1, static_cast<std::size_t>(k),
                 static_cast<std::size_t>(corner.z), zbuf + ch * chan_stride,
                 un, np, ws);
           }
-          // Per-bin operator, one vectorized pass per pencil.
+          // Per-bin operator, one vectorized pass per pencil (on the real
+          // path this is the Γ̂·half-spectrum fusion: only x ≤ nx/2 bins
+          // are ever multiplied).
           for (std::size_t p = 0; p < np; ++p) {
-            const i64 x = static_cast<i64>((p0 + p) % un);
-            const i64 y = static_cast<i64>((p0 + p) / un);
+            const i64 x = static_cast<i64>((p0 + p) % xbins);
+            const i64 y = static_cast<i64>((p0 + p) / xbins);
             op_->apply_z_pencil(x, y, 0, grid_, zbuf + p * un, un,
                                 chan_stride);
           }
@@ -262,13 +308,29 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
       config_.pool, planes.size() * nchan,
       [&](std::size_t lo, std::size_t hi, fft::FftWorkspace& ws) {
         LC_TRACE("convolver.stage3.block");
+        // Real path: the c2r inverse's store lane writes into one leased
+        // N² real plane per block — the octree sampling below reads it
+        // directly, so the full complex plane never exists.
+        auto rplane_lease =
+            !real_path_ ? BufferArena::Lease{}
+            : config_.arena != nullptr
+                ? config_.arena->acquire(plane_elems * sizeof(double))
+                : BufferArena::unpooled(plane_elems * sizeof(double));
+        double* rplane = rplane_lease.as<double>().data();
         for (std::size_t job = lo; job < hi; ++job) {
           const std::size_t ch = job / planes.size();
           const std::size_t i = job % planes.size();
           cplx* plane = staging_plane(ch, i);
-          // Inverse y (pencils, stride N), then inverse x (rows).
-          fft_n_->inverse_batch(plane, un, 1, un, ws);
-          fft_n_->inverse_batch(plane, 1, un, un, ws);
+          if (real_path_) {
+            // Inverse y over the nx/2+1 x-bins, then c2r rows (fused
+            // Hermitian mirror + real store).
+            fft_n_->inverse_batch(plane, nxh, 1, nxh, ws);
+            rfft_n_->inverse_batch(plane, 1, nxh, rplane, 1, un, un, ws);
+          } else {
+            // Inverse y (pencils, stride N), then inverse x (rows).
+            fft_n_->inverse_batch(plane, un, 1, un, ws);
+            fft_n_->inverse_batch(plane, 1, un, un, ws);
+          }
           auto payload = results[ch].samples();
           // Store callback: extract this plane's octree lattice samples.
           for (const auto& [ci, iz] :
@@ -279,10 +341,10 @@ std::vector<sampling::CompressedField> LocalConvolver::convolve_channels(
               const i64 yy = (c.corner.y + iy * c.rate) % n;
               for (i64 ix = 0; ix < e; ++ix) {
                 const i64 xx = (c.corner.x + ix * c.rate) % n;
+                const std::size_t at = static_cast<std::size_t>(yy) * un +
+                                       static_cast<std::size_t>(xx);
                 payload[c.sample_offset + c.sample_index(ix, iy, iz)] =
-                    plane[static_cast<std::size_t>(yy) * un +
-                          static_cast<std::size_t>(xx)]
-                        .real();
+                    real_path_ ? rplane[at] : plane[at].real();
               }
             }
           }

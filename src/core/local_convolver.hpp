@@ -30,12 +30,21 @@
 #include "core/spectral_operator.hpp"
 #include "device/device.hpp"
 #include "fft/fft1d.hpp"
+#include "fft/real_fft.hpp"
 #include "sampling/compressed_field.hpp"
 
 namespace lc::core {
 
 /// Tuning and instrumentation knobs for the local pipeline.
 struct LocalConvolverConfig {
+  /// Hermitian half-spectrum dispatch (DESIGN.md §16). kAuto — the default
+  /// — takes the r2c/c2r path whenever the operator is Hermitian-symmetric
+  /// and LC_REAL != off, transforming only the nx/2+1 x-bins; kOff forces
+  /// the full complex path (the bit-exact ground truth the real path is
+  /// validated against); kForce requires a Hermitian operator and throws
+  /// otherwise.
+  enum class RealPath { kAuto, kOff, kForce };
+
   /// z-pencils transformed per batch (the paper's B; §5.4).
   std::size_t batch = 1024;
   /// Thread pool for intra-worker parallelism (nullptr → serial).
@@ -46,9 +55,14 @@ struct LocalConvolverConfig {
   /// Pre-built length-N plan shared across engines (the runtime plan
   /// cache's reuse hook); must match the grid side. Null → build our own.
   std::shared_ptr<const fft::Fft1D> plan;
+  /// Pre-built length-N r2c/c2r plan (plan-cache hook for the real path);
+  /// must match the grid side. Null → built on demand when active.
+  std::shared_ptr<const fft::RealFft1D> real_plan;
   /// Optional scratch recycler: slab and staging buffers are leased from it
   /// instead of allocated per call. Null → plain per-call allocation.
   BufferArena* arena = nullptr;
+  /// See RealPath; kAuto consults lc::real_path_enabled() (LC_REAL).
+  RealPath real = RealPath::kAuto;
 };
 
 /// Immutable local convolution engine for a fixed grid and operator.
@@ -69,6 +83,11 @@ class LocalConvolver {
   }
   [[nodiscard]] const SpectralOperator& op() const noexcept { return *op_; }
 
+  /// True when this engine runs the Hermitian half-spectrum (r2c/c2r)
+  /// pipeline — decided once at construction from config().real, LC_REAL,
+  /// and the operator's hermitian() predicate.
+  [[nodiscard]] bool uses_real_path() const noexcept { return real_path_; }
+
   /// Convolve C tight k³ channel chunks whose origin sits at `corner` of
   /// the global grid, compressing each channel's N³ result through `tree`
   /// (whose sub-domain must be the chunk box).
@@ -88,6 +107,9 @@ class LocalConvolver {
   // Length-N plan shared by every axis (cubic grid); either injected via
   // LocalConvolverConfig::plan or built here.
   std::shared_ptr<const fft::Fft1D> fft_n_;
+  // Length-N r2c/c2r plan for the x axis; non-null iff real_path_.
+  std::shared_ptr<const fft::RealFft1D> rfft_n_;
+  bool real_path_ = false;
 };
 
 /// RAII registration of `bytes` against an optional device context.

@@ -57,6 +57,13 @@ class SpectralOperator {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True iff the operator maps Hermitian-symmetric channel spectra to
+  /// Hermitian-symmetric channel spectra — the precondition for the
+  /// half-spectrum (r2c/c2r) pipeline, which computes only the
+  /// x ∈ [0, nx/2] bins and lets c2r reconstitute the mirror half
+  /// (DESIGN.md §16). Defaults to false: the complex path is always valid.
+  [[nodiscard]] virtual bool hermitian() const { return false; }
 };
 
 /// Adapts a scalar KernelSpectrum to the operator interface (1 channel).
@@ -91,6 +98,9 @@ class ScalarKernelOperator final : public SpectralOperator {
   }
 
   [[nodiscard]] std::string name() const override { return kernel_->name(); }
+  [[nodiscard]] bool hermitian() const override {
+    return kernel_->hermitian();
+  }
 
   [[nodiscard]] const green::KernelSpectrum& kernel() const noexcept {
     return *kernel_;

@@ -73,4 +73,133 @@ void RealFft1D::inverse(std::span<const cplx> in, std::span<double> out,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batch-major execution
+//
+// Each tile packs up to Fft1D::kBatchTile pencils into contiguous
+// half-length (packed) or full-length (fallback) complex pencils in
+// buffer_a, runs the complex batch engine (SIMD lanes across pencils), and
+// unpacks per pencil. buffer_a is safe here: Fft1D's batch path touches
+// only the SoA tile planes and the Bluestein buffer.
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kTile = Fft1D::kBatchTile;
+}  // namespace
+
+void RealFft1D::forward_batch_pruned(const double* in,
+                                     std::size_t in_elem_stride,
+                                     std::size_t in_pencil_stride,
+                                     std::size_t k, std::size_t offset,
+                                     cplx* out, std::size_t out_elem_stride,
+                                     std::size_t out_pencil_stride,
+                                     std::size_t pencils,
+                                     FftWorkspace& ws) const {
+  LC_CHECK_ARG(offset + k <= n_, "nonzero block exceeds length");
+  const std::size_t h = packed_ ? n_ / 2 : n_;
+  const std::size_t sbins = spectrum_size();
+  auto z = ws.buffer_a(kTile * h);
+  for (std::size_t p0 = 0; p0 < pencils; p0 += kTile) {
+    const std::size_t tb = std::min(kTile, pencils - p0);
+    // Pack the k-sample window into zeroed packed/complex pencils (a full
+    // window overwrites every slot, so skip the fill); component writes go
+    // through the double view of cplx.
+    if (k < n_) {
+      std::fill(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(tb * h),
+                cplx{0.0, 0.0});
+    }
+    auto* zd = reinterpret_cast<double*>(z.data());
+    for (std::size_t p = 0; p < tb; ++p) {
+      const double* src = in + (p0 + p) * in_pencil_stride;
+      if (packed_) {
+        double* dst = zd + 2 * p * h;
+        for (std::size_t t = 0; t < k; ++t) {
+          dst[offset + t] = src[t * in_elem_stride];
+        }
+      } else {
+        cplx* dst = z.data() + p * h;
+        for (std::size_t t = 0; t < k; ++t) {
+          dst[offset + t] = cplx{src[t * in_elem_stride], 0.0};
+        }
+      }
+    }
+    half_.forward_batch(z.data(), 1, h, tb, ws);
+    // Unpack each pencil's half spectrum into the caller's layout.
+    const cplx half_i{0.0, -0.5};
+    for (std::size_t p = 0; p < tb; ++p) {
+      cplx* dst = out + (p0 + p) * out_pencil_stride;
+      const cplx* zp = z.data() + p * h;
+      if (packed_) {
+        for (std::size_t b = 0; b <= h; ++b) {
+          const cplx zk = (b == h) ? zp[0] : zp[b];
+          const cplx zc = std::conj(zp[(h - b) % h]);
+          dst[b * out_elem_stride] =
+              0.5 * (zk + zc) + half_i * unpack_[b] * (zk - zc);
+        }
+      } else {
+        for (std::size_t b = 0; b < sbins; ++b) {
+          dst[b * out_elem_stride] = zp[b];
+        }
+      }
+    }
+  }
+}
+
+void RealFft1D::forward_batch(const double* in, std::size_t in_elem_stride,
+                              std::size_t in_pencil_stride, cplx* out,
+                              std::size_t out_elem_stride,
+                              std::size_t out_pencil_stride,
+                              std::size_t pencils, FftWorkspace& ws) const {
+  forward_batch_pruned(in, in_elem_stride, in_pencil_stride, n_, 0, out,
+                       out_elem_stride, out_pencil_stride, pencils, ws);
+}
+
+void RealFft1D::inverse_batch(const cplx* in, std::size_t in_elem_stride,
+                              std::size_t in_pencil_stride, double* out,
+                              std::size_t out_elem_stride,
+                              std::size_t out_pencil_stride,
+                              std::size_t pencils, FftWorkspace& ws) const {
+  const std::size_t h = packed_ ? n_ / 2 : n_;
+  const std::size_t sbins = spectrum_size();
+  auto z = ws.buffer_a(kTile * h);
+  for (std::size_t p0 = 0; p0 < pencils; p0 += kTile) {
+    const std::size_t tb = std::min(kTile, pencils - p0);
+    for (std::size_t p = 0; p < tb; ++p) {
+      const cplx* src = in + (p0 + p) * in_pencil_stride;
+      cplx* zp = z.data() + p * h;
+      if (packed_) {
+        // Repack (same math as the scalar inverse).
+        for (std::size_t b = 0; b < h; ++b) {
+          const cplx xk = src[b * in_elem_stride];
+          const cplx xc = std::conj(src[(h - b) * in_elem_stride]);
+          const cplx e = 0.5 * (xk + xc);
+          const cplx o = 0.5 * (xk - xc);
+          zp[b] = e + cplx{0.0, 1.0} * std::conj(unpack_[b]) * o;
+        }
+      } else {
+        zp[0] = src[0];
+        for (std::size_t b = 1; b < sbins; ++b) {
+          zp[b] = src[b * in_elem_stride];
+          zp[n_ - b] = std::conj(src[b * in_elem_stride]);
+        }
+      }
+    }
+    half_.inverse_batch(z.data(), 1, h, tb, ws);
+    for (std::size_t p = 0; p < tb; ++p) {
+      double* dst = out + (p0 + p) * out_pencil_stride;
+      const cplx* zp = z.data() + p * h;
+      if (packed_) {
+        for (std::size_t j = 0; j < h; ++j) {
+          dst[2 * j * out_elem_stride] = zp[j].real();
+          dst[(2 * j + 1) * out_elem_stride] = zp[j].imag();
+        }
+      } else {
+        for (std::size_t j = 0; j < n_; ++j) {
+          dst[j * out_elem_stride] = zp[j].real();
+        }
+      }
+    }
+  }
+}
+
 }  // namespace lc::fft

@@ -5,6 +5,14 @@
 // to a full complex transform of the real data; odd lengths fall back to the
 // complex path. The half-spectrum layout matches FFTW: n/2 + 1 bins, bin 0
 // and bin n/2 (even n) purely real.
+//
+// Besides the one-pencil scalar entry points, the plan exposes batch-major
+// execution (`forward_batch` / `inverse_batch` / `forward_batch_pruned`)
+// mirroring Fft1D's: kBatchTile pencils at a time are packed into the
+// half-length complex plan's SoA tile engine (SIMD lanes across pencils),
+// with the r2c unpack / c2r repack running per pencil around it. Odd
+// lengths route the packed pairs through the full-length complex batch
+// path (Bluestein under the hood), so any n >= 2 works.
 #pragma once
 
 #include <span>
@@ -31,6 +39,39 @@ class RealFft1D {
   /// Hermitian half-spectrum), `out` has n reals.
   void inverse(std::span<const cplx> in, std::span<double> out,
                FftWorkspace& ws) const;
+
+  /// Batched strided r2c: pencil p real element t lives at
+  /// in[p * in_pencil_stride + t * in_elem_stride]; half-spectrum bin i is
+  /// written to out[p * out_pencil_stride + i * out_elem_stride]
+  /// (spectrum_size() bins per pencil). Handles any strides and partial
+  /// final tiles.
+  void forward_batch(const double* in, std::size_t in_elem_stride,
+                     std::size_t in_pencil_stride, cplx* out,
+                     std::size_t out_elem_stride,
+                     std::size_t out_pencil_stride, std::size_t pencils,
+                     FftWorkspace& ws) const;
+
+  /// Batched input-pruned r2c: pencil p has k nonzero reals at
+  /// in[p * in_pencil_stride + t * in_elem_stride], t in [0, k), occupying
+  /// logical indices [offset, offset + k) of an n-point real signal whose
+  /// remaining entries are zero (the zero-padded sub-domain rows of the
+  /// slab pipeline's xy stage; the zero rows are never gathered).
+  void forward_batch_pruned(const double* in, std::size_t in_elem_stride,
+                            std::size_t in_pencil_stride, std::size_t k,
+                            std::size_t offset, cplx* out,
+                            std::size_t out_elem_stride,
+                            std::size_t out_pencil_stride,
+                            std::size_t pencils, FftWorkspace& ws) const;
+
+  /// Batched strided c2r with 1/n normalisation: pencil p half-spectrum bin
+  /// i at in[p * in_pencil_stride + i * in_elem_stride] (treated as
+  /// Hermitian), real element t written to
+  /// out[p * out_pencil_stride + t * out_elem_stride].
+  void inverse_batch(const cplx* in, std::size_t in_elem_stride,
+                     std::size_t in_pencil_stride, double* out,
+                     std::size_t out_elem_stride,
+                     std::size_t out_pencil_stride, std::size_t pencils,
+                     FftWorkspace& ws) const;
 
  private:
   std::size_t n_;

@@ -48,8 +48,22 @@ class KernelSpectrum {
   /// default is name(), which suffices only for parameter-free kernels).
   [[nodiscard]] virtual std::string cache_key() const { return name(); }
 
+  /// True iff the spectrum is Hermitian-symmetric on every grid it accepts:
+  /// Ĝ((N − ξ) mod N) == conj(Ĝ(ξ)), i.e. the spatial kernel is real. This
+  /// is the precondition for the half-spectrum (r2c/c2r) execution path,
+  /// which stores only the x ∈ [0, nx/2] bins and lets c2r supply the
+  /// mirror half (DESIGN.md §16). Defaults to false — the full complex
+  /// path is always valid.
+  [[nodiscard]] virtual bool hermitian() const { return false; }
+
   /// Materialise the full dense spectrum (test/baseline use).
   [[nodiscard]] ComplexField materialize(const Grid3& g) const;
+
+  /// Materialise only the Hermitian half grid: a (nx/2 + 1) × ny × nz field
+  /// holding Ĝ at bins x ∈ [0, nx/2]. Only meaningful for hermitian()
+  /// kernels (the dropped mirror bins are then redundant); halves the
+  /// cached-spectrum bytes relative to materialize().
+  [[nodiscard]] ComplexField materialize_half(const Grid3& g) const;
 };
 
 /// Dense spectrum wrapper: adapts a precomputed ComplexField to the
@@ -62,11 +76,43 @@ class DenseSpectrum final : public KernelSpectrum {
   void eval_z_run(const Index3& start, const Grid3& g,
                   std::span<cplx> out) const override;
   [[nodiscard]] std::string name() const override { return name_; }
+  /// Detected at construction: a numerically transformed real kernel is
+  /// Hermitian to rounding, which the scan accepts (1e-12 relative).
+  [[nodiscard]] bool hermitian() const override { return hermitian_; }
 
   [[nodiscard]] const ComplexField& spectrum() const noexcept { return hat_; }
 
  private:
   ComplexField hat_;
+  std::string name_;
+  bool hermitian_;
+};
+
+/// Half-grid dense spectrum: a materialised Hermitian spectrum storing only
+/// the x ∈ [0, nx/2] bins of logical grid `full` ((nx/2+1) · ny · nz values
+/// — half the ResourceCache footprint of DenseSpectrum). eval() serves the
+/// mirror half via conjugate symmetry, so it remains a drop-in
+/// KernelSpectrum for the complex path too.
+class HalfDenseSpectrum final : public KernelSpectrum {
+ public:
+  /// `half` must have shape (full.nx/2 + 1, full.ny, full.nz) — typically
+  /// the result of materialize_half(full).
+  HalfDenseSpectrum(ComplexField half, const Grid3& full,
+                    std::string name = "dense-half");
+
+  [[nodiscard]] cplx eval(const Index3& bin, const Grid3& g) const override;
+  void eval_z_run(const Index3& start, const Grid3& g,
+                  std::span<cplx> out) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool hermitian() const override { return true; }
+
+  [[nodiscard]] const ComplexField& half_spectrum() const noexcept {
+    return hat_;
+  }
+
+ private:
+  ComplexField hat_;  // (nx/2+1) × ny × nz, x-fastest
+  Grid3 full_;        // logical full grid
   std::string name_;
 };
 

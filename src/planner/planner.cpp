@@ -110,12 +110,18 @@ CandidateCost price_block(const PlanRequest& req, const Candidate& c) {
   // Compute model, in transform point-passes: the xy stage touches n²·k
   // points, the z stage runs every pencil forward (n³), and only the
   // retained planes come back through the 2D inverse. log₂n passes each.
+  // The Hermitian half-spectrum path (LC_REAL, DESIGN.md §16) processes
+  // only the n/2+1 x-bins in every stage, scaling all three terms.
   const double lg = std::log2(static_cast<double>(n));
   const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  const double real_scale =
+      real_path_enabled()
+          ? static_cast<double>(n / 2 + 1) / static_cast<double>(n)
+          : 1.0;
   const double per_subdomain =
       (n2 * static_cast<double>(k) + n2 * static_cast<double>(n) +
        n2 * static_cast<double>(shape.planes)) *
-      lg;
+      lg * real_scale;
   cost.compute_seconds = owned * per_subdomain / req.compute_rate_pps;
 
   // Wire model: each rank ships its owned sub-domains' exact octree payload
@@ -421,6 +427,9 @@ std::string cache_key(const PlanRequest& req, Mode mode) {
   // "execplan/" keeps this namespace disjoint from the service's FFT-plan
   // entries ("plan/n=<n>") in the same ResourceCache.
   std::string key = "execplan/n=" + std::to_string(req.n);
+  // Real-path dispatch changes both the compute and memory pricing, so
+  // cached plans must not leak across LC_REAL toggles.
+  key += real_path_enabled() ? "/real=on" : "/real=off";
   key += "/p=" + std::to_string(req.ranks);
   key += "/nodes=" + std::to_string(req.topology.nodes());
   key += "/dev=" + req.device.name + ":" +

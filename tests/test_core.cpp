@@ -274,6 +274,174 @@ TEST_F(LocalConvolverTest, RejectsMismatchedOctree) {
                InvalidArgument);
 }
 
+// --- Hermitian half-spectrum (real) path -----------------------------------
+
+/// One-channel non-Hermitian operator: multiplies by i, so the spatial
+/// result of a real input is imaginary — any r2c run would be wrong.
+struct RotateOp final : SpectralOperator {
+  [[nodiscard]] std::size_t channels() const override { return 1; }
+  void apply(const Index3&, const Grid3&,
+             std::span<cplx> values) const override {
+    for (auto& v : values) v *= cplx{0.0, 1.0};
+  }
+  [[nodiscard]] std::string name() const override { return "rotate-i"; }
+};
+
+/// Six independent Gaussian channels through the default per-bin
+/// apply_z_pencil path (no cross-channel mixing), Hermitian by symmetry.
+struct DiagGaussOp final : SpectralOperator {
+  std::shared_ptr<const green::GaussianSpectrum> k_;
+  explicit DiagGaussOp(std::shared_ptr<const green::GaussianSpectrum> k)
+      : k_(std::move(k)) {}
+  [[nodiscard]] std::size_t channels() const override { return 6; }
+  void apply(const Index3& bin, const Grid3& g,
+             std::span<cplx> values) const override {
+    const cplx v = k_->eval(bin, g);
+    for (auto& x : values) x *= v;
+  }
+  [[nodiscard]] std::string name() const override { return "diag-gauss"; }
+  [[nodiscard]] bool hermitian() const override { return true; }
+};
+
+TEST_F(LocalConvolverTest, RealPathDispatchFollowsOperatorAndConfig) {
+  LocalConvolverConfig off;
+  off.real = LocalConvolverConfig::RealPath::kOff;
+  EXPECT_FALSE(LocalConvolver(grid_, kernel_, off).uses_real_path());
+  LocalConvolverConfig force;
+  force.real = LocalConvolverConfig::RealPath::kForce;
+  EXPECT_TRUE(LocalConvolver(grid_, kernel_, force).uses_real_path());
+  // kAuto + Hermitian kernel follows LC_REAL (unset in the test runner).
+  EXPECT_TRUE(LocalConvolver(grid_, kernel_).uses_real_path());
+  // A non-Hermitian operator never takes the real path; forcing it throws.
+  auto rot = std::make_shared<RotateOp>();
+  EXPECT_FALSE(LocalConvolver(grid_, rot).uses_real_path());
+  EXPECT_THROW(LocalConvolver(grid_, rot, force), InvalidArgument);
+}
+
+TEST_F(LocalConvolverTest, RealPathMatchesComplexPathAndDenseReference) {
+  const i64 k = 8;
+  const Index3 corner{8, 16, 4};
+  const RealField chunk = random_field(Grid3::cube(k), 31);
+  auto tree = std::make_shared<sampling::Octree>(
+      grid_, Box3::cube_at(corner, k), sampling::SamplingPolicy::uniform(1));
+  LocalConvolverConfig real_cfg;
+  real_cfg.real = LocalConvolverConfig::RealPath::kForce;
+  LocalConvolverConfig cplx_cfg;
+  cplx_cfg.real = LocalConvolverConfig::RealPath::kOff;
+  const auto a = LocalConvolver(grid_, kernel_, real_cfg)
+                     .convolve_subdomain(chunk, corner, tree);
+  const auto b = LocalConvolver(grid_, kernel_, cplx_cfg)
+                     .convolve_subdomain(chunk, corner, tree);
+  const auto sa = a.samples();
+  const auto sb = b.samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_NEAR(sa[i], sb[i], 1e-12) << i;
+  }
+  const RealField want = reference(chunk, corner);
+  EXPECT_LT(max_abs_error(a.reconstruct().span(), want.span()), 1e-10);
+}
+
+TEST(LocalConvolverReal, MatchesComplexPathAcrossGridSizes) {
+  for (const i64 n : {16, 64}) {
+    const Grid3 g = Grid3::cube(n);
+    const i64 k = 8;
+    const Index3 corner{n / 2, 0, n / 4};
+    auto kernel = std::make_shared<green::GaussianSpectrum>(g, 1.5);
+    const RealField chunk = random_field(Grid3::cube(k), 32);
+    auto tree = std::make_shared<sampling::Octree>(
+        g, Box3::cube_at(corner, k), sampling::SamplingPolicy::uniform(2));
+    LocalConvolverConfig real_cfg;
+    real_cfg.real = LocalConvolverConfig::RealPath::kForce;
+    LocalConvolverConfig cplx_cfg;
+    cplx_cfg.real = LocalConvolverConfig::RealPath::kOff;
+    const auto a = LocalConvolver(g, kernel, real_cfg)
+                       .convolve_subdomain(chunk, corner, tree);
+    const auto b = LocalConvolver(g, kernel, cplx_cfg)
+                       .convolve_subdomain(chunk, corner, tree);
+    const auto sa = a.samples();
+    const auto sb = b.samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_NEAR(sa[i], sb[i], 1e-12) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(LocalConvolverTest, RealPathHandlesPartialBatchTiles) {
+  // batch=37 leaves ragged SoA tiles at every stage boundary.
+  const i64 k = 8;
+  const Index3 corner{24, 8, 0};
+  const RealField chunk = random_field(Grid3::cube(k), 33);
+  auto tree = std::make_shared<sampling::Octree>(
+      grid_, Box3::cube_at(corner, k), sampling::SamplingPolicy::uniform(2));
+  LocalConvolverConfig ragged;
+  ragged.real = LocalConvolverConfig::RealPath::kForce;
+  ragged.batch = 37;
+  LocalConvolverConfig cplx_cfg;
+  cplx_cfg.real = LocalConvolverConfig::RealPath::kOff;
+  const auto a = LocalConvolver(grid_, kernel_, ragged)
+                     .convolve_subdomain(chunk, corner, tree);
+  const auto b = LocalConvolver(grid_, kernel_, cplx_cfg)
+                     .convolve_subdomain(chunk, corner, tree);
+  const auto sa = a.samples();
+  const auto sb = b.samples();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_NEAR(sa[i], sb[i], 1e-12) << i;
+  }
+}
+
+TEST_F(LocalConvolverTest, RealPathMultiChannelMatchesComplexPath) {
+  const i64 k = 8;
+  const Index3 corner{0, 16, 8};
+  auto op = std::make_shared<DiagGaussOp>(kernel_);
+  std::vector<RealField> chunks;
+  for (std::size_t c = 0; c < op->channels(); ++c) {
+    chunks.push_back(random_field(Grid3::cube(k), 40 + c));
+  }
+  auto tree = std::make_shared<sampling::Octree>(
+      grid_, Box3::cube_at(corner, k), sampling::SamplingPolicy::uniform(1));
+  LocalConvolverConfig real_cfg;
+  real_cfg.real = LocalConvolverConfig::RealPath::kForce;
+  LocalConvolverConfig cplx_cfg;
+  cplx_cfg.real = LocalConvolverConfig::RealPath::kOff;
+  const auto a = LocalConvolver(grid_, op, real_cfg)
+                     .convolve_channels(chunks, corner, tree);
+  const auto b = LocalConvolver(grid_, op, cplx_cfg)
+                     .convolve_channels(chunks, corner, tree);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const auto sa = a[c].samples();
+    const auto sb = b[c].samples();
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_NEAR(sa[i], sb[i], 1e-12) << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST_F(LocalConvolverTest, LcRealOffEnvIsBitExactWithComplexConfig) {
+  const i64 k = 8;
+  const Index3 corner{8, 8, 8};
+  const RealField chunk = random_field(Grid3::cube(k), 34);
+  auto tree = std::make_shared<sampling::Octree>(
+      grid_, Box3::cube_at(corner, k), sampling::SamplingPolicy::uniform(2));
+  LocalConvolverConfig cplx_cfg;
+  cplx_cfg.real = LocalConvolverConfig::RealPath::kOff;
+  const auto want = LocalConvolver(grid_, kernel_, cplx_cfg)
+                        .convolve_subdomain(chunk, corner, tree);
+  ASSERT_EQ(setenv("LC_REAL", "off", 1), 0);
+  const LocalConvolver env_engine(grid_, kernel_);  // kAuto, env says off
+  ASSERT_EQ(unsetenv("LC_REAL"), 0);
+  EXPECT_FALSE(env_engine.uses_real_path());
+  const auto got = env_engine.convolve_subdomain(chunk, corner, tree);
+  const auto sw = want.samples();
+  const auto sg = got.samples();
+  ASSERT_EQ(sw.size(), sg.size());
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    EXPECT_EQ(sw[i], sg[i]) << i;  // bit-exact: identical complex code path
+  }
+}
+
 // --- End-to-end pipeline ---------------------------------------------------
 
 TEST(LowCommPipeline, LosslessModeMatchesDenseConvolution) {

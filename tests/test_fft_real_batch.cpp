@@ -1,0 +1,229 @@
+// Cross-validation of the batch-major r2c/c2r path (RealFft1D::forward_batch
+// / inverse_batch / forward_batch_pruned) against the direct DFT oracle and
+// the scalar one-pencil entry points: odd-n fallback, strided layouts,
+// partial final tiles, pruned windows, and the Hermitian DC/Nyquist edge
+// bins. Lengths cover the ISSUE 8 sweep N ∈ {15, 16, 27, 32, 64} plus the
+// Bluestein-backed primes the pipeline can hit through padding choices.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fft/dft_direct.hpp"
+#include "fft/real_fft.hpp"
+
+namespace lc::fft {
+namespace {
+
+constexpr std::size_t kTile = Fft1D::kBatchTile;
+
+std::vector<double> random_reals(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+std::vector<cplx> direct_half_spectrum(std::span<const double> x) {
+  std::vector<cplx> in(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) in[i] = cplx{x[i], 0.0};
+  std::vector<cplx> full(x.size());
+  dft_direct_forward(in, full);
+  full.resize(x.size() / 2 + 1);
+  return full;
+}
+
+struct Layout {
+  std::size_t elem_stride;
+  std::size_t pencil_stride;
+};
+
+class RealBatchLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealBatchLengths, ForwardMatchesDirectDftAcrossLayoutsAndBatchSizes) {
+  const std::size_t n = GetParam();
+  const std::size_t sbins = n / 2 + 1;
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  for (std::size_t pencils :
+       {std::size_t{1}, kTile - 1, kTile, kTile + 1, 2 * kTile + 3}) {
+    const std::vector<Layout> in_layouts{{1, n}, {pencils, 1}, {3, 3 * n + 7}};
+    const std::vector<Layout> out_layouts{
+        {1, sbins}, {pencils, 1}, {2, 2 * sbins + 5}};
+    for (std::size_t li = 0; li < in_layouts.size(); ++li) {
+      const Layout ilay = in_layouts[li];
+      const Layout olay = out_layouts[li];
+      std::vector<double> in((pencils - 1) * ilay.pencil_stride +
+                             (n - 1) * ilay.elem_stride + 1);
+      std::vector<cplx> out((pencils - 1) * olay.pencil_stride +
+                                (sbins - 1) * olay.elem_stride + 1,
+                            cplx{42.0, -42.0});  // canary fill
+      std::vector<std::vector<cplx>> want(pencils);
+      for (std::size_t p = 0; p < pencils; ++p) {
+        const auto x = random_reals(n, 7000 * n + 13 * p);
+        want[p] = direct_half_spectrum(x);
+        for (std::size_t i = 0; i < n; ++i) {
+          in[p * ilay.pencil_stride + i * ilay.elem_stride] = x[i];
+        }
+      }
+      plan.forward_batch(in.data(), ilay.elem_stride, ilay.pencil_stride,
+                         out.data(), olay.elem_stride, olay.pencil_stride,
+                         pencils, ws);
+      for (std::size_t p = 0; p < pencils; ++p) {
+        for (std::size_t b = 0; b < sbins; ++b) {
+          const cplx got = out[p * olay.pencil_stride + b * olay.elem_stride];
+          EXPECT_LT(std::abs(got - want[p][b]), 1e-12 * static_cast<double>(n))
+              << "n=" << n << " pencils=" << pencils << " layout=" << li
+              << " p=" << p << " bin=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RealBatchLengths, ForwardMatchesScalarEntryPoint) {
+  const std::size_t n = GetParam();
+  const std::size_t sbins = n / 2 + 1;
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  const std::size_t pencils = kTile + 1;  // partial final tile
+  std::vector<double> in(n * pencils);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    const auto x = random_reals(n, 8000 * n + p);
+    std::copy(x.begin(), x.end(), in.begin() + p * n);
+  }
+  std::vector<cplx> got(sbins * pencils);
+  plan.forward_batch(in.data(), 1, n, got.data(), 1, sbins, pencils, ws);
+  std::vector<cplx> want(sbins);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    plan.forward({in.data() + p * n, n}, want, ws);
+    for (std::size_t b = 0; b < sbins; ++b) {
+      EXPECT_LT(std::abs(got[p * sbins + b] - want[b]), 1e-13)
+          << "n=" << n << " p=" << p << " bin=" << b;
+    }
+  }
+}
+
+TEST_P(RealBatchLengths, RoundTripBound) {
+  const std::size_t n = GetParam();
+  const std::size_t sbins = n / 2 + 1;
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  const std::size_t pencils = 2 * kTile + 3;
+  // Interleaved pencils both ways — the z-pencil pattern of the slab stage.
+  std::vector<double> buf(n * pencils);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    const auto x = random_reals(n, 9000 * n + p);
+    for (std::size_t i = 0; i < n; ++i) buf[i * pencils + p] = x[i];
+  }
+  const auto orig = buf;
+  std::vector<cplx> spec(sbins * pencils);
+  plan.forward_batch(buf.data(), pencils, 1, spec.data(), pencils, 1, pencils,
+                     ws);
+  plan.inverse_batch(spec.data(), pencils, 1, buf.data(), pencils, 1, pencils,
+                     ws);
+  double m = 0.0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    m = std::max(m, std::abs(buf[i] - orig[i]));
+  }
+  EXPECT_LT(m, 1e-12) << "n=" << n;
+}
+
+TEST_P(RealBatchLengths, DcAndNyquistBinsAreReal) {
+  const std::size_t n = GetParam();
+  const std::size_t sbins = n / 2 + 1;
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  const std::size_t pencils = kTile + 2;
+  std::vector<double> in(n * pencils);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    const auto x = random_reals(n, 11000 * n + p);
+    std::copy(x.begin(), x.end(), in.begin() + p * n);
+  }
+  std::vector<cplx> spec(sbins * pencils);
+  plan.forward_batch(in.data(), 1, n, spec.data(), 1, sbins, pencils, ws);
+  for (std::size_t p = 0; p < pencils; ++p) {
+    EXPECT_LT(std::abs(spec[p * sbins].imag()), 1e-12) << "DC, p=" << p;
+    if (n % 2 == 0) {
+      EXPECT_LT(std::abs(spec[p * sbins + sbins - 1].imag()), 1e-12)
+          << "Nyquist, p=" << p;
+    }
+  }
+}
+
+// ISSUE 8 sweep (15/16/27/32/64: odd fallback, packed pow2, odd composite)
+// plus tile-boundary and Bluestein-prime lengths.
+INSTANTIATE_TEST_SUITE_P(AllLengths, RealBatchLengths,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 15, 16, 27, 31,
+                                           32, 64, 100, 128));
+
+TEST(RealBatch, PrunedForwardMatchesZeroPaddedFull) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{27}}) {
+    const std::size_t sbins = n / 2 + 1;
+    const std::size_t k = 10;
+    const std::size_t offset = 5;
+    const std::size_t pencils = kTile + 2;
+    RealFft1D plan(n);
+    FftWorkspace ws;
+    // Input: pencil-interleaved nonzero window (the slab xy-stage pattern).
+    std::vector<double> in(k * pencils);
+    for (std::size_t p = 0; p < pencils; ++p) {
+      const auto chunk = random_reals(k, 600 + p);
+      for (std::size_t t = 0; t < k; ++t) in[t * pencils + p] = chunk[t];
+    }
+    std::vector<cplx> got(sbins * pencils);
+    plan.forward_batch_pruned(in.data(), pencils, 1, k, offset, got.data(), 1,
+                              sbins, pencils, ws);
+    for (std::size_t p = 0; p < pencils; ++p) {
+      std::vector<double> full(n, 0.0);
+      for (std::size_t t = 0; t < k; ++t) {
+        full[offset + t] = in[t * pencils + p];
+      }
+      const auto want = direct_half_spectrum(full);
+      for (std::size_t b = 0; b < sbins; ++b) {
+        EXPECT_LT(std::abs(got[p * sbins + b] - want[b]), 1e-12)
+            << "n=" << n << " p=" << p << " bin=" << b;
+      }
+    }
+  }
+}
+
+TEST(RealBatch, PrunedRejectsOverflow) {
+  RealFft1D plan(16);
+  FftWorkspace ws;
+  std::vector<double> in(8);
+  std::vector<cplx> out(9);
+  EXPECT_THROW(plan.forward_batch_pruned(in.data(), 1, 8, 8, 10, out.data(), 1,
+                                         9, 1, ws),
+               InvalidArgument);
+}
+
+TEST(RealBatch, ZeroPencilsIsANoOp) {
+  RealFft1D plan(32);
+  FftWorkspace ws;
+  plan.forward_batch(nullptr, 1, 32, nullptr, 1, 17, 0, ws);
+  plan.inverse_batch(nullptr, 1, 17, nullptr, 1, 32, 0, ws);
+}
+
+TEST(RealBatch, InverseImplicitlyHermitianizes) {
+  // c2r treats the half spectrum as authoritative; feeding it a spectrum
+  // from a genuinely real signal must reproduce that signal even when the
+  // stored edge bins carry tiny imaginary round-off.
+  const std::size_t n = 32;
+  const std::size_t sbins = n / 2 + 1;
+  RealFft1D plan(n);
+  FftWorkspace ws;
+  const auto x = random_reals(n, 77);
+  auto spec = direct_half_spectrum(x);
+  spec[0] += cplx{0.0, 1e-13};          // perturb DC imag
+  spec[sbins - 1] += cplx{0.0, -1e-13};  // perturb Nyquist imag
+  std::vector<double> out(n);
+  plan.inverse_batch(spec.data(), 1, sbins, out.data(), 1, n, 1, ws);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(out[i] - x[i]), 1e-12) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace lc::fft

@@ -112,6 +112,52 @@ TEST(DenseSpectrum, WrapsField) {
   EXPECT_EQ(spec.name(), "test");
 }
 
+// --- Hermitian predicates & half-spectrum storage (DESIGN.md §16) ---------
+
+TEST(Hermitian, KernelFlagsAndDenseAutoDetection) {
+  const Grid3 g = Grid3::cube(8);
+  EXPECT_TRUE(GaussianSpectrum(g, 1.0).hermitian());
+  EXPECT_TRUE(PoissonGreenSpectrum().hermitian());
+  EXPECT_TRUE(PoissonGreenSpectrum(/*discrete=*/true).hermitian());
+  // DenseSpectrum has no closed form to reason about, so it scans the
+  // stored bins for conjugate symmetry at construction.
+  EXPECT_TRUE(
+      DenseSpectrum(GaussianSpectrum(g, 1.0).materialize(g), "sym").hermitian());
+  ComplexField f(g);
+  f(1, 0, 0) = cplx{1.0, 2.0};  // mirror bin (7,0,0) left at zero
+  EXPECT_FALSE(DenseSpectrum(std::move(f), "asym").hermitian());
+}
+
+TEST(HalfDenseSpectrum, StoresHalfGridAndMirrorsByConjugation) {
+  const Grid3 g = Grid3::cube(8);
+  const GaussianSpectrum gauss(g, 1.25);
+  const HalfDenseSpectrum half(gauss.materialize_half(g), g, "gauss-half");
+  EXPECT_TRUE(half.hermitian());
+  EXPECT_EQ(half.half_spectrum().grid().nx, g.nx / 2 + 1);
+  EXPECT_EQ(half.half_spectrum().size(),
+            static_cast<std::size_t>((g.nx / 2 + 1) * g.ny * g.nz));
+  // eval covers the FULL grid: bins past nx/2 come from the conjugate
+  // mirror and must match the closed-form kernel everywhere.
+  for (i64 x = 0; x < g.nx; ++x) {
+    for (i64 y = 0; y < g.ny; ++y) {
+      for (i64 z = 0; z < g.nz; ++z) {
+        const cplx want = gauss.eval({x, y, z}, g);
+        const cplx got = half.eval({x, y, z}, g);
+        ASSERT_NEAR(got.real(), want.real(), 1e-12) << x << "," << y << "," << z;
+        ASSERT_NEAR(got.imag(), want.imag(), 1e-12) << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(HalfDenseSpectrum, RejectsWrongShapes) {
+  const Grid3 g = Grid3::cube(8);
+  EXPECT_THROW(HalfDenseSpectrum(ComplexField(g), g, "full-sized"),
+               InvalidArgument);
+  const HalfDenseSpectrum half(GaussianSpectrum(g, 1.0).materialize_half(g), g);
+  EXPECT_THROW((void)half.eval({0, 0, 0}, Grid3::cube(16)), InvalidArgument);
+}
+
 TEST(Poisson, SolvesManufacturedLaplaceProblem) {
   // u(x) = cos(2π x / N): -∇²u = (2π/N)² u (spectral). Convolving the RHS
   // with the spectral kernel must return u.

@@ -4,12 +4,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "common/arena.hpp"
 #include "core/accumulator.hpp"
 #include "green/gaussian.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/service.hpp"
 
 namespace lc::runtime {
@@ -308,6 +310,36 @@ TEST(ConvolutionService, EngineCacheHitWithoutResultCache) {
     ASSERT_DOUBLE_EQ(second.result.output[i], first.result.output[i]) << i;
   }
   EXPECT_EQ(service.stats().result_hits, 0u);
+}
+
+TEST(ConvolutionService, HermitianKernelCachesHalfSpectrum) {
+  const Grid3 g = Grid3::cube(32);
+  auto& saved =
+      obs::Registry::global().counter("spectrum.half_bytes_saved");
+
+  ServiceConfig cfg;
+  cfg.materialize_spectra = true;
+
+  // LC_REAL on (unset): the Gaussian kernel is Hermitian, so the engine
+  // materialises the half spectrum and books the bytes it saved.
+  const auto before_on = saved.value();
+  ConvolutionService on_service(cfg);
+  const ConvolutionResponse on = on_service.run(small_request(g));
+  EXPECT_GT(saved.value(), before_on);
+
+  // LC_REAL=off: dense spectrum, counter untouched.
+  ASSERT_EQ(setenv("LC_REAL", "off", 1), 0);
+  ConvolutionService off_service(cfg);
+  const auto before_off = saved.value();
+  const ConvolutionResponse off = off_service.run(small_request(g));
+  ASSERT_EQ(unsetenv("LC_REAL"), 0);
+  EXPECT_EQ(saved.value(), before_off);
+
+  // Both dispatches produce the same convolution (real-path tolerance).
+  ASSERT_EQ(on.result.output.size(), off.result.output.size());
+  for (std::size_t i = 0; i < on.result.output.size(); ++i) {
+    ASSERT_NEAR(on.result.output[i], off.result.output[i], 1e-9) << i;
+  }
 }
 
 TEST(ConvolutionService, SubdomainScopedRequestReturnsTile) {
