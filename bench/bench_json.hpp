@@ -49,6 +49,13 @@ class JsonWriter {
     if (f == nullptr) return "";
     std::fputs("{\n", f);
     std::fprintf(f, "  \"bench\": %s,\n", quoted(name_).c_str());
+    // Provenance stamp: which commit produced this sidecar (the bench
+    // CMakeLists resolves the short SHA at configure time). Baseline
+    // checkers compare "rows" only, so refreshing a baseline updates the
+    // stamp without ever failing a gate by itself.
+#ifdef LC_GIT_SHA
+    std::fprintf(f, "  \"git_sha\": %s,\n", quoted(LC_GIT_SHA).c_str());
+#endif
     for (const auto& [key, value] : meta_) {
       std::fprintf(f, "  %s: %s,\n", quoted(key).c_str(),
                    quoted(value).c_str());

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdlib>
 #include <numeric>
-#include <string_view>
 
 #include "common/check.hpp"
+#include "common/runtime_flags.hpp"
 
 namespace lc::core {
 
@@ -27,13 +26,10 @@ std::uint64_t morton3(std::uint64_t x, std::uint64_t y, std::uint64_t z) {
 }  // namespace
 
 Assignment default_assignment() {
-  static const Assignment chosen = [] {
-    const char* env = std::getenv("LC_ASSIGNMENT");
-    if (env != nullptr && std::string_view(env) == "roundrobin") {
-      return Assignment::kRoundRobin;
-    }
-    return Assignment::kBlockedMorton;
-  }();
+  static const Assignment chosen =
+      env_choice("LC_ASSIGNMENT", 0, {"blockedmorton", "roundrobin"}) == 1
+          ? Assignment::kRoundRobin
+          : Assignment::kBlockedMorton;
   return chosen;
 }
 

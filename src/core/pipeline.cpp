@@ -113,7 +113,7 @@ LowCommResult LowCommConvolution::convolve(const RealField& input) const {
   std::size_t bytes = 0;
   for (auto& slot : slots) {
     samples += slot->samples().size();
-    bytes += slot->sample_bytes();
+    bytes += slot->encoded_sample_bytes(params_.wire);
     contributions.push_back(std::move(*slot));
   }
   PipelineMetrics& metrics = PipelineMetrics::get();
@@ -206,16 +206,19 @@ std::vector<int> node_owner_of(const std::vector<int>& owner_of,
 using OctreeSource =
     std::function<std::shared_ptr<const sampling::Octree>(std::size_t)>;
 
-/// sizes[src][D] = doubles rank src ships to node D under node-granularity
-/// packing. Every rank computes the full table from the deterministic
-/// octrees — this is the size oracle that frames the hierarchical exchange
-/// without any metadata crossing the wire.
+/// sizes[src][D] = WIRE DOUBLES rank src ships to node D under
+/// node-granularity packing and the active wire codec: the encoded bytes of
+/// every packed cell, rounded up to whole doubles once per bundle (exactly
+/// the WireEncoder framing). Every rank computes the full table from the
+/// deterministic octrees — this is the size oracle that frames the
+/// hierarchical exchange without any metadata crossing the wire.
 std::vector<std::vector<std::size_t>> node_bundle_sizes(
     const DomainDecomposition& decomp, const OctreeSource& octree_for,
     const std::vector<std::vector<std::size_t>>& owned,
-    const std::vector<int>& node_owners, const comm::Topology& topo) {
+    const std::vector<int>& node_owners, const comm::Topology& topo,
+    comm::WireCodec codec) {
   const int nodes = topo.nodes();
-  std::vector<std::vector<std::size_t>> sizes(
+  std::vector<std::vector<std::size_t>> bytes(
       owned.size(),
       std::vector<std::size_t>(static_cast<std::size_t>(nodes), 0));
   for (std::size_t src = 0; src < owned.size(); ++src) {
@@ -226,14 +229,17 @@ std::vector<std::vector<std::size_t>> node_bundle_sizes(
       for (std::size_t ci = 0; ci < cells.size(); ++ci) {
         for (int n = 0; n < nodes; ++n) {
           if (masks.needed(ci, n)) {
-            sizes[src][static_cast<std::size_t>(n)] +=
-                cells[ci].sample_count();
+            bytes[src][static_cast<std::size_t>(n)] +=
+                comm::encoded_cell_bytes(codec, cells[ci].sample_count());
           }
         }
       }
     }
   }
-  return sizes;
+  for (auto& per_node : bytes) {
+    for (std::size_t& b : per_node) b = comm::wire_doubles(b);
+  }
+  return bytes;
 }
 
 bool routes_hierarchically(ExchangeRoute route, const comm::Topology& topo) {
@@ -245,7 +251,8 @@ bool routes_hierarchically(ExchangeRoute route, const comm::Topology& topo) {
 comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
                                          const OctreeSource& octree_for,
                                          const comm::Topology& topo,
-                                         ExchangeRoute route) {
+                                         ExchangeRoute route,
+                                         comm::WireCodec codec) {
   const int workers = topo.ranks();
   std::vector<std::vector<std::size_t>> owned(
       static_cast<std::size_t>(workers));
@@ -268,7 +275,9 @@ comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
 
   if (!routes_hierarchically(route, topo)) {
     // Flat route: one message per ordered rank pair (empty ones included —
-    // all_to_all ships them too), classified by node co-residency.
+    // all_to_all ships them too), classified by node co-residency. Encoded
+    // bytes accumulate per pair buffer and round up to whole wire doubles
+    // once per buffer — exactly the WireEncoder framing the run executes.
     std::vector<std::vector<std::size_t>> pair(
         static_cast<std::size_t>(workers),
         std::vector<std::size_t>(static_cast<std::size_t>(workers), 0));
@@ -281,7 +290,8 @@ comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
           for (int dst = 0; dst < workers; ++dst) {
             if (masks.needed(ci, dst)) {
               pair[static_cast<std::size_t>(src)]
-                  [static_cast<std::size_t>(dst)] += cells[ci].sample_count();
+                  [static_cast<std::size_t>(dst)] +=
+                  comm::encoded_cell_bytes(codec, cells[ci].sample_count());
             }
           }
         }
@@ -291,8 +301,8 @@ comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
       for (int dst = 0; dst < workers; ++dst) {
         if (dst == src) continue;
         count(!topo.same_node(src, dst),
-              pair[static_cast<std::size_t>(src)]
-                  [static_cast<std::size_t>(dst)]);
+              comm::wire_doubles(pair[static_cast<std::size_t>(src)]
+                                     [static_cast<std::size_t>(dst)]));
       }
     }
     return t;
@@ -303,7 +313,7 @@ comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
   // per ordered node pair, leader redistribution.
   const std::vector<int> node_owners = node_owner_of(owner_of, topo);
   const auto sizes =
-      node_bundle_sizes(decomp, octree_for, owned, node_owners, topo);
+      node_bundle_sizes(decomp, octree_for, owned, node_owners, topo, codec);
   for (int me = 0; me < workers; ++me) {
     const int my_node = topo.node_of(me);
     const auto members = topo.members(my_node);
@@ -347,26 +357,15 @@ comm::LevelTraffic exchange_traffic_impl(const DomainDecomposition& decomp,
 
 std::size_t lowcomm_exchange_bytes(const LowCommConvolution& engine,
                                    int workers) {
-  const auto& decomp = engine.decomposition();
-  std::vector<std::vector<std::size_t>> owned(
-      static_cast<std::size_t>(workers));
-  for (int r = 0; r < workers; ++r) {
-    owned[static_cast<std::size_t>(r)] = decomp.assigned_to(r, workers);
-  }
-  const std::vector<int> owner_of = invert_assignment(decomp, owned);
-  std::size_t bytes = 0;
-  for (int src = 0; src < workers; ++src) {
-    for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
-      const auto tree = engine.octree_for(d);
-      const CellDestMasks masks(*tree, decomp, owner_of, workers);
-      const auto cells = tree->cells();
-      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-        bytes += static_cast<std::size_t>(masks.fanout_excluding(ci, src)) *
-                 cells[ci].sample_count() * sizeof(double);
-      }
-    }
-  }
-  return bytes;
+  // The flat-route mirror on a trivial topology: per ordered rank pair,
+  // encoded bundle bytes rounded to whole wire doubles, self-delivery
+  // excluded — byte-identical to what a flat SimCluster run records.
+  return exchange_traffic_impl(
+             engine.decomposition(),
+             [&](std::size_t d) { return engine.octree_for(d); },
+             comm::Topology::flat(workers), ExchangeRoute::kFlat,
+             engine.params().wire)
+      .total_bytes();
 }
 
 comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
@@ -374,7 +373,8 @@ comm::LevelTraffic lowcomm_exchange_traffic(const LowCommConvolution& engine,
                                             ExchangeRoute route) {
   return exchange_traffic_impl(
       engine.decomposition(),
-      [&](std::size_t d) { return engine.octree_for(d); }, topo, route);
+      [&](std::size_t d) { return engine.octree_for(d); }, topo, route,
+      engine.params().wire);
 }
 
 comm::LevelTraffic lowcomm_exchange_traffic(const Grid3& grid,
@@ -389,7 +389,7 @@ comm::LevelTraffic lowcomm_exchange_traffic(const Grid3& grid,
         return std::make_shared<const sampling::Octree>(
             grid, decomp.subdomain(d), policy);
       },
-      topo, route);
+      topo, route, params.wire);
 }
 
 RealField distributed_lowcomm_convolve(
@@ -437,6 +437,22 @@ RealField distributed_lowcomm_convolve(
         obs::Registry::global().counter("exchange.samples_shipped");
     static obs::Counter& payload_bytes =
         obs::Registry::global().counter("exchange.payload_bytes");
+    static obs::Counter& bytes_saved =
+        obs::Registry::global().counter("exchange.bytes_saved");
+    static obs::Gauge& max_quant_error =
+        obs::Registry::global().gauge("exchange.max_quant_error");
+    // Unique payload leaving a rank, under the active codec: raw samples
+    // shipped keep counting doubles (the pre-codec figure), payload_bytes
+    // counts actual wire bytes, and their difference accumulates into
+    // bytes_saved (saturating: tiny q16 cells can cost more than raw).
+    const auto count_outgoing = [&](const comm::WireEncoder& enc,
+                                    const std::vector<double>& buf) {
+      samples_shipped.add(enc.raw_bytes() / sizeof(double));
+      payload_bytes.add(buf.size() * sizeof(double));
+      const std::size_t wire = buf.size() * sizeof(double);
+      bytes_saved.add(enc.raw_bytes() > wire ? enc.raw_bytes() - wire : 0);
+      max_quant_error.record_max(enc.max_abs_error());
+    };
 
     // The single global exchange of the method (Fig 1b): per destination,
     // only the cells whose boxes intersect that destination's regions.
@@ -463,28 +479,28 @@ RealField distributed_lowcomm_convolve(
         }
         for (int dst = 0; dst < nodes; ++dst) {
           auto& buf = outgoing[static_cast<std::size_t>(dst)];
+          comm::WireEncoder enc(params.wire, buf);
           for (std::size_t i = 0; i < mine.size(); ++i) {
             const auto cells = local[i].octree().cells();
             const auto payload = local[i].samples();
             for (std::size_t ci = 0; ci < cells.size(); ++ci) {
               if (!local_masks[i].needed(ci, dst)) continue;
-              const auto s = payload.subspan(cells[ci].sample_offset,
-                                             cells[ci].sample_count());
-              buf.insert(buf.end(), s.begin(), s.end());
+              enc.add_cell(payload.subspan(cells[ci].sample_offset,
+                                           cells[ci].sample_count()));
             }
           }
+          enc.finish();
           // Unique payload leaving this rank: each node bundle is packed
           // (and counted) once however many ranks receive it; the own-node
           // bundle only counts when node-mates exist to receive it.
           if (dst != my_node || topo.members(my_node).size() > 1) {
-            samples_shipped.add(buf.size());
-            payload_bytes.add(buf.size() * sizeof(double));
+            count_outgoing(enc, buf);
           }
         }
       }
       const auto sizes = node_bundle_sizes(
           decomp, [&](std::size_t d) { return engine.octree_for(d); }, owned,
-          node_owners, topo);
+          node_owners, topo, params.wire);
       std::vector<std::vector<double>> bundles;
       {
         LC_TRACE("exchange.hierarchical");
@@ -502,7 +518,7 @@ RealField distributed_lowcomm_convolve(
       LC_TRACE("exchange.unpack_accumulate");
       for (int src = 0; src < workers; ++src) {
         const auto& buf = bundles[static_cast<std::size_t>(src)];
-        std::size_t offset = 0;
+        comm::WireDecoder dec(params.wire, buf);
         for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
           sampling::CompressedField c(engine.octree_for(d));
           auto dst_payload = c.samples();
@@ -511,18 +527,12 @@ RealField distributed_lowcomm_convolve(
           for (std::size_t ci = 0; ci < cells.size(); ++ci) {
             if (!masks.needed(ci, my_node)) continue;
             const auto& cell = cells[ci];
-            LC_CHECK(offset + cell.sample_count() <= buf.size(),
-                     "payload framing mismatch");
-            std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
-                      buf.begin() + static_cast<std::ptrdiff_t>(
-                                        offset + cell.sample_count()),
-                      dst_payload.begin() +
-                          static_cast<std::ptrdiff_t>(cell.sample_offset));
-            offset += cell.sample_count();
+            dec.read_cell(dst_payload.subspan(cell.sample_offset,
+                                              cell.sample_count()));
           }
           contributions.push_back(std::move(c));
         }
-        LC_CHECK(offset == buf.size(), "payload framing mismatch");
+        dec.finish();
       }
     } else {
       std::vector<std::vector<double>> outgoing(
@@ -536,19 +546,19 @@ RealField distributed_lowcomm_convolve(
         }
         for (int dst = 0; dst < workers; ++dst) {
           auto& buf = outgoing[static_cast<std::size_t>(dst)];
+          comm::WireEncoder enc(params.wire, buf);
           for (std::size_t i = 0; i < mine.size(); ++i) {
             const auto cells = local[i].octree().cells();
             const auto payload = local[i].samples();
             for (std::size_t ci = 0; ci < cells.size(); ++ci) {
               if (!local_masks[i].needed(ci, dst)) continue;
-              const auto s = payload.subspan(cells[ci].sample_offset,
-                                             cells[ci].sample_count());
-              buf.insert(buf.end(), s.begin(), s.end());
+              enc.add_cell(payload.subspan(cells[ci].sample_offset,
+                                           cells[ci].sample_count()));
             }
           }
+          enc.finish();
           if (dst != me) {
-            samples_shipped.add(buf.size());
-            payload_bytes.add(buf.size() * sizeof(double));
+            count_outgoing(enc, buf);
           }
         }
       }
@@ -563,7 +573,7 @@ RealField distributed_lowcomm_convolve(
       LC_TRACE("exchange.unpack_accumulate");
       for (int src = 0; src < workers; ++src) {
         const auto& buf = incoming[static_cast<std::size_t>(src)];
-        std::size_t offset = 0;
+        comm::WireDecoder dec(params.wire, buf);
         for (const std::size_t d : owned[static_cast<std::size_t>(src)]) {
           sampling::CompressedField c(engine.octree_for(d));
           auto dst_payload = c.samples();
@@ -572,18 +582,12 @@ RealField distributed_lowcomm_convolve(
           for (std::size_t ci = 0; ci < cells.size(); ++ci) {
             if (!masks.needed(ci, me)) continue;
             const auto& cell = cells[ci];
-            LC_CHECK(offset + cell.sample_count() <= buf.size(),
-                     "payload framing mismatch");
-            std::copy(buf.begin() + static_cast<std::ptrdiff_t>(offset),
-                      buf.begin() + static_cast<std::ptrdiff_t>(
-                                        offset + cell.sample_count()),
-                      dst_payload.begin() +
-                          static_cast<std::ptrdiff_t>(cell.sample_offset));
-            offset += cell.sample_count();
+            dec.read_cell(dst_payload.subspan(cell.sample_offset,
+                                              cell.sample_count()));
           }
           contributions.push_back(std::move(c));
         }
-        LC_CHECK(offset == buf.size(), "payload framing mismatch");
+        dec.finish();
       }
     }
 

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "comm/sim_cluster.hpp"
+#include "comm/wire_codec.hpp"
 #include "core/accumulator.hpp"
 #include "core/decomposition.hpp"
 #include "core/local_convolver.hpp"
@@ -31,6 +32,12 @@ struct LowCommParams {
   /// Override the banded paper policy with a single uniform exterior rate
   /// (Table 3 reports one r per row).
   std::optional<i64> uniform_rate;
+  /// Wire codec for the exchange payloads (DESIGN.md §17). Defaults from
+  /// LC_WIRE at construction (off = bit-exact fp64 passthrough); the
+  /// planner enumerates it as a plan dimension. Only the wire
+  /// representation changes — octree sampling, local compute, and the
+  /// accumulation schedule are identical under every codec.
+  comm::WireCodec wire = comm::wire_codec_from_env();
 
   /// The sampling policy these parameters induce for sub-domain size k.
   [[nodiscard]] sampling::SamplingPolicy make_policy() const;
@@ -123,9 +130,11 @@ enum class ExchangeRoute {
     std::shared_ptr<const green::KernelSpectrum> kernel,
     const LowCommParams& params, ExchangeRoute route = ExchangeRoute::kAuto);
 
-/// Exact number of payload bytes the personalised exchange above moves
-/// across the network for `workers` ranks (self-delivery excluded) — the
-/// executable counterpart of Eqn 6's "k³ + sparse samples" volume.
+/// Exact number of wire bytes the personalised exchange above moves across
+/// the network for `workers` ranks (self-delivery excluded) — the
+/// executable counterpart of Eqn 6's "k³ + sparse samples" volume, priced
+/// under the engine's wire codec (encoded bundle bytes, rounded up to
+/// whole wire doubles per destination buffer exactly as executed).
 [[nodiscard]] std::size_t lowcomm_exchange_bytes(
     const LowCommConvolution& engine, int workers);
 

@@ -26,14 +26,19 @@ CommVolumeReport measure_impl(const core::LowCommConvolution& engine,
   const sampling::SamplingPolicy policy = engine.params().make_policy();
   rep.r = policy.effective_exterior_rate(grid, decomp.subdomain(0));
 
+  rep.codec = engine.params().wire;
   for (std::size_t d = 0; d < decomp.count(); ++d) {
     const auto tree = engine.octree_for(d);
     rep.payload_bytes += tree->total_samples() * sizeof(double);
+    rep.cells += tree->cells().size();
     for (const sampling::OctreeCell& cell : tree->cells()) {
       const std::size_t interior =
           static_cast<std::size_t>(cell.side / cell.rate);
       rep.unique_bytes += interior * interior * interior * sizeof(double);
     }
+    rep.encoded_payload_bytes +=
+        tree->total_samples() * comm::codec_sample_bytes(rep.codec) +
+        tree->cells().size() * comm::codec_cell_header_bytes(rep.codec);
   }
   rep.wire_bytes = wire_bytes;
 
@@ -92,7 +97,19 @@ TextTable CommVolumeReport::table() const {
   t.row({"measured interior lattice",
          format_bytes_gb(static_cast<double>(unique_bytes)),
          format_fixed(unique_over_model(), 2) + "x"});
-  t.row({"measured on the wire (fanout)",
+  if (codec != comm::WireCodec::kOff) {
+    t.row({std::string("measured payload (") + comm::codec_name(codec) +
+               " encoded, " + std::to_string(cells) + " cells)",
+           format_bytes_gb(static_cast<double>(encoded_payload_bytes)),
+           format_fixed(model_bytes > 0.0
+                            ? static_cast<double>(encoded_payload_bytes) /
+                                  model_bytes
+                            : 0.0,
+                        2) +
+               "x"});
+  }
+  t.row({std::string("measured on the wire (fanout, ") +
+             comm::codec_name(codec) + ")",
          format_bytes_gb(static_cast<double>(wire_bytes)),
          format_fixed(model_bytes > 0.0
                           ? static_cast<double>(wire_bytes) / model_bytes
@@ -112,7 +129,7 @@ TextTable CommVolumeReport::table() const {
 }
 
 std::string CommVolumeReport::to_json() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -124,6 +141,9 @@ std::string CommVolumeReport::to_json() const {
       "  \"payload_bytes\": %zu,\n"
       "  \"unique_bytes\": %zu,\n"
       "  \"wire_bytes\": %zu,\n"
+      "  \"codec\": \"%s\",\n"
+      "  \"encoded_payload_bytes\": %zu,\n"
+      "  \"cells\": %zu,\n"
       "  \"nodes\": %d,\n"
       "  \"intra_wire_bytes\": %zu,\n"
       "  \"inter_wire_bytes\": %zu,\n"
@@ -134,7 +154,8 @@ std::string CommVolumeReport::to_json() const {
       "  \"reduction_vs_dense\": %.6g\n"
       "}\n",
       static_cast<long long>(n), static_cast<long long>(k), r, workers,
-      subdomains, payload_bytes, unique_bytes, wire_bytes, nodes,
+      subdomains, payload_bytes, unique_bytes, wire_bytes,
+      comm::codec_name(codec), encoded_payload_bytes, cells, nodes,
       intra_wire_bytes, inter_wire_bytes, flat_inter_wire_bytes, model_bytes,
       dense_bytes, measured_over_model(), reduction_vs_dense());
   return buf;

@@ -41,6 +41,17 @@ struct CommVolumeReport {
   std::size_t unique_bytes = 0;   ///< Σ_d Σ_cells (side/rate)³ · 8
   std::size_t wire_bytes = 0;     ///< exchange bytes incl. cell fanout
 
+  // Wire-codec accounting (DESIGN.md §17). `codec` is the engine's active
+  // LC_WIRE codec; wire_bytes above is already priced under it.
+  // `encoded_payload_bytes` re-prices payload_bytes under the codec (every
+  // sample once per sub-domain, per-cell q16 scale headers included), so
+  // measured-vs-model rows stay truthful when samples no longer cost 8
+  // bytes each. `cells` is the total octree cell count behind the header
+  // term.
+  comm::WireCodec codec = comm::WireCodec::kOff;
+  std::size_t encoded_payload_bytes = 0;
+  std::size_t cells = 0;
+
   // Per-level split of wire_bytes when a topology is attached (the
   // measure_comm_volume overload taking a comm::Topology): how much of the
   // exchange crosses the expensive inter-node links vs stays inside nodes.

@@ -60,6 +60,16 @@ class Gauge {
         std::memory_order_relaxed)) {
     }
   }
+  /// Raise the gauge to `v` if it exceeds the stored value (lock-free max
+  /// aggregation across threads; reset() rearms it). Used for high-water
+  /// marks like the exchange codec's max quantisation error.
+  void record_max(double v) noexcept {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(cur) < v &&
+           !bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const noexcept {
     return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
   }

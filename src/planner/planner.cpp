@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/check.hpp"
+#include "common/runtime_flags.hpp"
 #include "core/hyperparams.hpp"
 #include "device/memory_model.hpp"
 #include "obs/metrics.hpp"
@@ -39,6 +40,7 @@ double cube(double v) { return v * v * v; }
 struct BlockShape {
   std::size_t samples = 0;  ///< retained samples (the Eqn-6 payload, exact)
   std::size_t planes = 0;   ///< retained z-planes (drives the inverse stage)
+  std::size_t cells = 0;    ///< octree cells (per-cell codec headers)
 };
 
 BlockShape block_shape(i64 n, const core::LowCommParams& params) {
@@ -47,7 +49,8 @@ BlockShape block_shape(i64 n, const core::LowCommParams& params) {
   const i64 c = (blocks / 2) * params.subdomain;
   const sampling::Octree tree(grid, Box3::cube_at({c, c, c}, params.subdomain),
                               params.make_policy());
-  return {tree.total_samples(), tree.retained_z_planes().size()};
+  return {tree.total_samples(), tree.retained_z_planes().size(),
+          tree.cells().size()};
 }
 
 /// Uniform ranks-per-node of the topology, or 1 when nodes are uneven (the
@@ -89,20 +92,26 @@ comm::LevelTraffic add_traffic(comm::LevelTraffic a,
   return a;
 }
 
-/// Closed-form price of a block candidate (screening stage).
-CandidateCost price_block(const PlanRequest& req, const Candidate& c) {
+/// Closed-form price of a block candidate (screening stage). `shape` is the
+/// representative sub-domain octree, memoized by the caller per
+/// (k, schedule, r) — codecs and routes reprice it without rebuilding.
+CandidateCost price_block(const PlanRequest& req, const Candidate& c,
+                          const BlockShape& shape) {
   CandidateCost cost;
   const core::LowCommParams& p = c.params;
   const i64 n = req.n;
   const i64 k = p.subdomain;
 
+  // Accuracy screen: interpolation error of the rate schedule plus the
+  // wire codec's quantization error (additive pessimism — the two error
+  // sources are independent and small).
   const i64 r_ext = p.uniform_rate.value_or(p.far_rate);
-  cost.predicted_rel_error = predicted_rel_error(n, k, r_ext, c.schedule);
+  cost.predicted_rel_error = predicted_rel_error(n, k, r_ext, c.schedule) +
+                             comm::codec_rel_error(p.wire);
 
   const auto plan = device::plan_local_pipeline(n, k, p.make_policy(), p.batch);
   cost.memory_bytes = plan.actual_total();
 
-  const BlockShape shape = block_shape(n, p);
   const double subdomains = cube(static_cast<double>(n / k));
   const double owned =
       std::ceil(subdomains / static_cast<double>(std::max(req.ranks, 1)));
@@ -125,9 +134,13 @@ CandidateCost price_block(const PlanRequest& req, const Candidate& c) {
   cost.compute_seconds = owned * per_subdomain / req.compute_rate_pps;
 
   // Wire model: each rank ships its owned sub-domains' exact octree payload
-  // (the executable Eqn-6 volume), spread by the closed-form schedule.
+  // (the executable Eqn-6 volume) as the codec encodes it — per-sample
+  // width plus per-cell scale headers — spread by the closed-form schedule.
   const double bytes_per_rank =
-      owned * static_cast<double>(shape.samples) * sizeof(double);
+      owned * (static_cast<double>(shape.samples) *
+                   static_cast<double>(comm::codec_sample_bytes(p.wire)) +
+               static_cast<double>(shape.cells) *
+                   static_cast<double>(comm::codec_cell_header_bytes(p.wire)));
   const int g = uniform_ranks_per_node(req.topology);
   comm::LevelTraffic traffic;
   if (routes_hierarchically(c.route, req.topology) &&
@@ -228,12 +241,24 @@ bool better(const RankedCandidate& a, const RankedCandidate& b) {
 }  // namespace
 
 Mode mode_from_env() {
-  const char* env = std::getenv("LC_PLANNER");
-  if (env == nullptr) return Mode::kAnalytic;
-  const std::string_view v(env);
-  if (v == "off") return Mode::kOff;
-  if (v == "probe") return Mode::kProbe;
-  return Mode::kAnalytic;
+  switch (env_choice("LC_PLANNER", 0, {"analytic", "off", "probe"})) {
+    case 1:
+      return Mode::kOff;
+    case 2:
+      return Mode::kProbe;
+    default:
+      return Mode::kAnalytic;
+  }
+}
+
+std::vector<comm::WireCodec> default_codec_grid() {
+  if (std::getenv("LC_WIRE") != nullptr) {
+    // Explicitly pinned wire format: plan only under it (and let a bad
+    // spelling throw the same error every other LC_WIRE reader raises).
+    return {comm::wire_codec_from_env()};
+  }
+  return {comm::WireCodec::kOff, comm::WireCodec::kFp32,
+          comm::WireCodec::kBf16, comm::WireCodec::kQ16};
 }
 
 const char* mode_name(Mode mode) {
@@ -255,6 +280,9 @@ std::string Candidate::name() const {
   s += schedule == RateSchedule::kUniform ? " uniform r=" : " banded r=";
   s += std::to_string(params.uniform_rate.value_or(params.far_rate));
   s += route == core::ExchangeRoute::kHierarchical ? " hier" : " flat";
+  if (params.wire != comm::WireCodec::kOff) {
+    s += std::string(" wire=") + comm::codec_name(params.wire);
+  }
   return s;
 }
 
@@ -291,29 +319,34 @@ std::vector<RankedCandidate> Planner::enumerate(
   }
 
   std::vector<RankedCandidate> out;
+  // The representative octree shape depends only on (k, schedule, r) — one
+  // build per rate point, shared across every route × codec variant.
   const auto push_block = [&](const core::LowCommParams& p,
-                              RateSchedule sched) {
+                              RateSchedule sched, const BlockShape& shape) {
     for (const core::ExchangeRoute route : routes) {
       Candidate c;
       c.kind = DecompKind::kBlock;
       c.schedule = sched;
       c.route = route;
       c.params = p;
-      out.push_back(RankedCandidate{c, price_block(req, c), 0.0});
+      out.push_back(RankedCandidate{c, price_block(req, c, shape), 0.0});
     }
   };
 
   if (req.pinned) {
     // Pinned mode: validate / repair, never re-tune. Only an illegal k
-    // (does not divide N) or an over-budget batch is adjusted.
+    // (does not divide N) or an over-budget batch is adjusted; the pinned
+    // wire codec passes through unchanged — no codec search.
     core::LowCommParams p = *req.pinned;
     if (p.subdomain < 1 || req.n % p.subdomain != 0) {
       p.subdomain = repair_subdomain(req.n, std::max<i64>(p.subdomain, 1));
     }
     p.batch = fit_batch(req.n, p, p.batch, req.device);
     push_block(p, p.uniform_rate ? RateSchedule::kUniform
-                                 : RateSchedule::kBanded);
+                                 : RateSchedule::kBanded,
+               block_shape(req.n, p));
   } else {
+    LC_CHECK_ARG(!config_.codec_grid.empty(), "codec grid must not be empty");
     const std::size_t batch0 = core::recommended_batch(req.n);
     for (const i64 k : core::subdomain_divisors(req.n)) {
       if (k < config_.min_subdomain) continue;
@@ -331,7 +364,11 @@ std::vector<RankedCandidate> Planner::enumerate(
             p.far_rate = r;
           }
           p.batch = fit_batch(req.n, p, batch0, req.device);
-          push_block(p, sched);
+          const BlockShape shape = block_shape(req.n, p);
+          for (const comm::WireCodec codec : config_.codec_grid) {
+            p.wire = codec;
+            push_block(p, sched, shape);
+          }
         }
       }
     }
@@ -430,6 +467,9 @@ std::string cache_key(const PlanRequest& req, Mode mode) {
   // Real-path dispatch changes both the compute and memory pricing, so
   // cached plans must not leak across LC_REAL toggles.
   key += real_path_enabled() ? "/real=on" : "/real=off";
+  // Same for the wire codec: the request's base codec seeds the candidate
+  // grid (LC_WIRE pins it), so plans must not leak across codec changes.
+  key += std::string("/wire=") + comm::codec_name(req.base.wire);
   key += "/p=" + std::to_string(req.ranks);
   key += "/nodes=" + std::to_string(req.topology.nodes());
   key += "/dev=" + req.device.name + ":" +
@@ -444,7 +484,8 @@ std::string cache_key(const PlanRequest& req, Mode mode) {
                            : std::string("-")) +
            "bb" + std::to_string(p.boundary_band) + "dh" +
            std::to_string(p.dense_halo) + "B" + std::to_string(p.batch) +
-           "i" + std::to_string(static_cast<int>(p.interpolation));
+           "i" + std::to_string(static_cast<int>(p.interpolation)) + "w" +
+           comm::codec_name(p.wire);
   } else {
     key += "/pin=-";
   }

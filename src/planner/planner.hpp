@@ -10,8 +10,8 @@
 //
 //   1. enumerates candidates: k³ block decompositions over the divisors of
 //      N × {banded, uniform} octree rate schedules × {flat, hierarchical}
-//      exchange routes, plus slab/pencil variants of the baseline
-//      distributed FFT for comparison;
+//      exchange routes × wire codecs (LC_WIRE, DESIGN.md §17), plus
+//      slab/pencil variants of the baseline distributed FFT for comparison;
 //   2. prices each with the analytic models: Eqn 6 volume (per-sub-domain
 //      retained samples from a real metadata-only octree), Eqn 2 per-level
 //      α-β wire time via comm::predict_exchange_times, a transform-work
@@ -143,12 +143,24 @@ struct ExecutionPlan {
 /// inject deterministic stubs.
 using ProbeFn = std::function<double(const PlanRequest&, const Candidate&)>;
 
+/// Wire codecs the planner enumerates as a plan dimension. When LC_WIRE is
+/// explicitly set the grid collapses to that single codec (the operator
+/// pinned the wire format; the planner must not override it). Otherwise it
+/// spans the useful spectrum: off (bit-exact), fp32, bf16, q16. fp16 is
+/// excluded from the default grid because its ±65504 range clamp makes its
+/// error data-dependent; it stays selectable via LC_WIRE=fp16.
+[[nodiscard]] std::vector<comm::WireCodec> default_codec_grid();
+
 /// Planner tuning knobs.
 struct PlannerConfig {
   Mode mode = Mode::kAnalytic;
   /// Exterior rates tried per (k, schedule). Rates above the accuracy
   /// target's tolerance are marked infeasible, not silently dropped.
   std::vector<i64> rate_grid = {2, 4, 8, 16, 32};
+  /// Wire codecs tried per (k, schedule, r) block candidate; each one's
+  /// quantization error joins the accuracy screen and its wire bytes the
+  /// α-β pricing. See default_codec_grid().
+  std::vector<comm::WireCodec> codec_grid = default_codec_grid();
   i64 min_subdomain = 4;
   /// Closed-form shortlist size re-priced with the exact traffic mirror.
   std::size_t exact_top = 4;

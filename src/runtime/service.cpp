@@ -70,6 +70,10 @@ std::string engine_key_of(const ConvolutionRequest& request) {
          std::to_string(static_cast<int>(p.interpolation));
   key += "/ur=" +
          (p.uniform_rate ? std::to_string(*p.uniform_rate) : std::string("-"));
+  // Single-process convolves never hit the wire, but the engine's reported
+  // exchanged_bytes (and cached LowCommResults derived from this key) are
+  // priced under the codec — don't share them across LC_WIRE changes.
+  key += std::string("/wire=") + comm::codec_name(p.wire);
   key += "/kernel=" + request.kernel->cache_key();
   return key;
 }

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "comm/wire_codec.hpp"
 #include "common/aligned.hpp"
 #include "sampling/octree.hpp"
 #include "tensor/field.hpp"
@@ -45,9 +46,23 @@ class CompressedField {
     return {samples_.data(), samples_.size()};
   }
 
-  /// Payload size in bytes (what accumulation actually communicates).
+  /// Raw payload size in bytes (every sample as a full double — the
+  /// in-memory representation, and the wire format of the off codec).
   [[nodiscard]] std::size_t sample_bytes() const noexcept {
     return samples_.size() * sizeof(double);
+  }
+  /// Payload size in bytes as `codec` encodes it (per-cell q16 scale
+  /// headers included; wire padding happens per bundle, not per field).
+  /// Equals sample_bytes() for WireCodec::kOff — the codec-aware figure
+  /// comm-volume reports quote instead of hardcoding sizeof(double).
+  [[nodiscard]] std::size_t encoded_sample_bytes(
+      comm::WireCodec codec) const noexcept {
+    return samples_.size() * comm::codec_sample_bytes(codec) +
+           tree_->cells().size() * comm::codec_cell_header_bytes(codec);
+  }
+  /// Octree cell count (per-cell sample counts live on octree().cells()).
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return tree_->cells().size();
   }
   /// Metadata size in bytes (5 int32 per cell).
   [[nodiscard]] std::size_t metadata_bytes() const noexcept {

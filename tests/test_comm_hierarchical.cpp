@@ -350,6 +350,148 @@ TEST_F(LowCommPipelineHierarchical, GroupedRouteCutsInterNodeBytes) {
   EXPECT_LE(hier.inter_bytes, flat.inter_bytes);
 }
 
+// Wire-codec behaviour of the full distributed pipeline (DESIGN.md §17):
+// route equivalence, static-mirror byte-exactness, and run-to-run
+// determinism must all hold under every codec, not just fp64 passthrough.
+class LowCommPipelineWire : public LowCommPipelineHierarchical {};
+
+TEST_F(LowCommPipelineWire, FlatAndHierarchicalBitIdenticalUnderEveryCodec) {
+  // Encoding is pure per cell and every contribution (own and remote) is
+  // codec round-tripped on both routes, so flat and hierarchical must stay
+  // BIT-identical under lossy codecs too — not merely close.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 21);
+  const Topology topo = Topology::grouped(4, 2);
+
+  for (const WireCodec codec : kAllWireCodecs) {
+    auto p = params(16, 2);
+    p.wire = codec;
+    SimCluster flat_cluster(topo);
+    const RealField flat = core::distributed_lowcomm_convolve(
+        flat_cluster, input, g, kernel, p, core::ExchangeRoute::kFlat);
+    SimCluster hier_cluster(topo);
+    const RealField hier = core::distributed_lowcomm_convolve(
+        hier_cluster, input, g, kernel, p, core::ExchangeRoute::kHierarchical);
+    const auto fs = flat.span();
+    const auto hs = hier.span();
+    ASSERT_EQ(fs.size(), hs.size());
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      ASSERT_EQ(fs[i], hs[i]) << codec_name(codec) << " at " << i;
+    }
+  }
+}
+
+TEST_F(LowCommPipelineWire, StaticMirrorMatchesExecutedStatsUnderEveryCodec) {
+  // The header-free framing contract extended to encoded payloads: the
+  // static mirror must equal the executed per-level counters byte for byte
+  // for every codec on both routes.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 22);
+  const Topology topo = Topology::grouped(4, 2);
+
+  for (const WireCodec codec : kAllWireCodecs) {
+    auto p = params(16, 2);
+    p.wire = codec;
+    const core::LowCommConvolution engine(g, kernel, p);
+    for (const auto route :
+         {core::ExchangeRoute::kFlat, core::ExchangeRoute::kHierarchical}) {
+      SimCluster cluster(topo);
+      (void)core::distributed_lowcomm_convolve(cluster, input, g, kernel, p,
+                                               route);
+      const comm::LevelTraffic want =
+          core::lowcomm_exchange_traffic(engine, topo, route);
+      const comm::LevelTraffic got = cluster.stats().level_traffic();
+      EXPECT_EQ(got.intra_bytes, want.intra_bytes) << codec_name(codec);
+      EXPECT_EQ(got.inter_bytes, want.inter_bytes) << codec_name(codec);
+      EXPECT_EQ(got.intra_messages, want.intra_messages) << codec_name(codec);
+      EXPECT_EQ(got.inter_messages, want.inter_messages) << codec_name(codec);
+    }
+  }
+}
+
+TEST_F(LowCommPipelineWire, ExchangeBytesOracleMatchesFlatRunUnderQ16) {
+  // lowcomm_exchange_bytes is the flat-topology wire-byte oracle; under a
+  // codec it must still equal what a flat cluster actually records.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 23);
+  auto p = params(16, 2);
+  p.wire = WireCodec::kQ16;
+  const core::LowCommConvolution engine(g, kernel, p);
+
+  SimCluster cluster(Topology::flat(4));
+  (void)core::distributed_lowcomm_convolve(cluster, input, g, kernel, p,
+                                           core::ExchangeRoute::kFlat);
+  EXPECT_EQ(cluster.stats().bytes_sent.load(),
+            core::lowcomm_exchange_bytes(engine, 4));
+
+  // And the 2-byte codec must actually cut the volume vs fp64: ≥2× fewer
+  // wire bytes even with the per-cell scale headers.
+  auto p_off = params(16, 2);
+  p_off.wire = WireCodec::kOff;
+  const core::LowCommConvolution engine_off(g, kernel, p_off);
+  EXPECT_GE(core::lowcomm_exchange_bytes(engine_off, 4),
+            2 * core::lowcomm_exchange_bytes(engine, 4));
+}
+
+TEST_F(LowCommPipelineWire, RepeatedRunsBitIdenticalUnderQ16) {
+  // Decode→accumulate must stay bit-identical across repeated runs whatever
+  // the thread interleaving (slot-based accumulation ordering, PR-6): the
+  // codec adds per-cell encode/decode but no order-dependent arithmetic.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 24);
+  auto p = params(16, 2);
+  p.wire = WireCodec::kQ16;
+  const Topology topo = Topology::grouped(4, 2);
+
+  SimCluster first(topo);
+  const RealField reference =
+      core::distributed_lowcomm_convolve(first, input, g, kernel, p);
+  for (int run = 1; run < 4; ++run) {
+    SimCluster cluster(topo);
+    const RealField again =
+        core::distributed_lowcomm_convolve(cluster, input, g, kernel, p);
+    const auto rs = reference.span();
+    const auto as = again.span();
+    ASSERT_EQ(rs.size(), as.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      ASSERT_EQ(rs[i], as[i]) << "run " << run << " at " << i;
+    }
+  }
+}
+
+TEST_F(LowCommPipelineWire, LossyCodecsStayCloseToOff) {
+  // End-to-end accuracy: the distributed result under each lossy codec must
+  // stay within its analytic error scale of the bit-exact off result.
+  const Grid3 g = Grid3::cube(32);
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 25);
+  const Topology topo = Topology::grouped(4, 2);
+
+  auto p = params(16, 2);
+  p.wire = WireCodec::kOff;
+  SimCluster off_cluster(topo);
+  const RealField off = core::distributed_lowcomm_convolve(
+      off_cluster, input, g, kernel, p);
+
+  for (const WireCodec codec :
+       {WireCodec::kFp32, WireCodec::kFp16, WireCodec::kBf16,
+        WireCodec::kQ16}) {
+    p.wire = codec;
+    SimCluster cluster(topo);
+    const RealField got =
+        core::distributed_lowcomm_convolve(cluster, input, g, kernel, p);
+    const double err = relative_l2_error(got.span(), off.span());
+    // codec_rel_error is the calibrated planner bound; the measured
+    // end-to-end deviation must come in below it with margin to spare.
+    EXPECT_LE(err, codec_rel_error(codec)) << codec_name(codec);
+    EXPECT_GT(err, 0.0) << codec_name(codec);  // lossy codecs really quantise
+  }
+}
+
 TEST(CostModelHierarchical, PredictedTimesSplitByLevel) {
   HierarchicalLinkModel links;
   links.intra = {1e-7, 1e-11};

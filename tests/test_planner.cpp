@@ -252,6 +252,53 @@ TEST(Planner, ProbeModeUsesInjectedMeasurements) {
   EXPECT_GT(plan.probed_seconds, 0.0);
 }
 
+TEST(Planner, EnumerationSpansCodecGridAndPricesIt) {
+  // With LC_WIRE unset the planner searches the codec dimension: the same
+  // (k, schedule, r, route) shape appears once per grid codec, lossy codecs
+  // carry their quantization term in the accuracy screen, and 2-byte codecs
+  // price at a fraction of the fp64 wire bytes.
+  ::unsetenv("LC_WIRE");
+  PlannerConfig cfg;  // codec_grid resolved here, after the unsetenv
+  cfg.exact_top = 0;  // keep every price closed-form → comparable pairs
+  const Planner planner(cfg);
+  ASSERT_EQ(planner.config().codec_grid.size(), 4u);
+  const auto ranked = planner.enumerate(small_request());
+
+  const auto find = [&](comm::WireCodec codec) -> const RankedCandidate* {
+    for (const auto& rc : ranked) {
+      if (rc.candidate.kind == DecompKind::kBlock &&
+          rc.candidate.params.wire == codec &&
+          rc.candidate.params.subdomain == 8 &&
+          rc.candidate.schedule == RateSchedule::kUniform &&
+          rc.candidate.params.uniform_rate == i64{2} &&
+          rc.candidate.route == core::ExchangeRoute::kFlat) {
+        return &rc;
+      }
+    }
+    return nullptr;
+  };
+  const RankedCandidate* off = find(comm::WireCodec::kOff);
+  const RankedCandidate* q16 = find(comm::WireCodec::kQ16);
+  ASSERT_NE(off, nullptr);
+  ASSERT_NE(q16, nullptr);
+  EXPECT_NEAR(q16->cost.predicted_rel_error - off->cost.predicted_rel_error,
+              comm::codec_rel_error(comm::WireCodec::kQ16), 1e-12);
+  EXPECT_LT(q16->cost.exchange_bytes, 0.5 * off->cost.exchange_bytes);
+  EXPECT_NE(q16->candidate.name().find("wire=q16"), std::string::npos);
+  EXPECT_EQ(off->candidate.name().find("wire="), std::string::npos);
+}
+
+TEST(Planner, ExplicitLcWirePinsTheCodecGrid) {
+  ::setenv("LC_WIRE", "bf16", 1);
+  const auto pinned = default_codec_grid();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0], comm::WireCodec::kBf16);
+  ::unsetenv("LC_WIRE");
+  const auto open = default_codec_grid();
+  ASSERT_EQ(open.size(), 4u);
+  EXPECT_EQ(open[0], comm::WireCodec::kOff);
+}
+
 TEST(Planner, ModeFromEnvParsesAllValues) {
   ::setenv("LC_PLANNER", "off", 1);
   EXPECT_EQ(mode_from_env(), Mode::kOff);
@@ -261,6 +308,10 @@ TEST(Planner, ModeFromEnvParsesAllValues) {
   EXPECT_EQ(mode_from_env(), Mode::kAnalytic);
   ::unsetenv("LC_PLANNER");
   EXPECT_EQ(mode_from_env(), Mode::kAnalytic);
+  // Typos no longer fall back silently — they fail loudly at first read.
+  ::setenv("LC_PLANNER", "prob", 1);
+  EXPECT_THROW((void)mode_from_env(), InvalidArgument);
+  ::unsetenv("LC_PLANNER");
 }
 
 // --- Plan caching through the runtime ResourceCache ------------------------
@@ -312,6 +363,16 @@ TEST(PlanProvider, CacheKeySeparatesShapeTopologyDeviceAndPin) {
   other.pinned = params_of(8, 4);
   EXPECT_NE(cache_key(other, Mode::kAnalytic), base);
   EXPECT_NE(cache_key(req, Mode::kProbe), base);
+  // The wire codec seeds the candidate grid, so it salts the key too —
+  // both the base codec and a pinned-params codec.
+  other = req;
+  other.base.wire = comm::WireCodec::kQ16;
+  EXPECT_NE(cache_key(other, Mode::kAnalytic), base);
+  other = req;
+  other.pinned = params_of(8, 4);
+  const std::string pinned_off = cache_key(other, Mode::kAnalytic);
+  other.pinned->wire = comm::WireCodec::kBf16;
+  EXPECT_NE(cache_key(other, Mode::kAnalytic), pinned_off);
 }
 
 // --- Service integration ---------------------------------------------------
