@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
   }
 
   // --- resource-warm: new content, hot plans/octrees/engines ----------------
+  runtime::RequestStats sample_stats;  // last executed request's drift pair
   for (int i = 0; i < cold_reps; ++i) {
     ScopedTimer timer(resource_warm.time);
     const auto response =
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
       std::puts("unexpected result-cache hit in resource-warm phase");
       return 1;
     }
+    sample_stats = response.stats;
   }
 
   // --- warm: identical request, result cache answers ------------------------
@@ -128,6 +130,17 @@ int main(int argc, char** argv) {
 
   std::puts("");
   service.stats_table().print();
+
+  // Plan-vs-actual drift (DESIGN.md §18): how far the planner's compute
+  // price sits from realized request time. Ratio > 1 = planner pessimistic.
+  const auto sstats = service.stats();
+  std::printf(
+      "\nPlan-vs-actual drift: %zu planned requests, pred/actual p50 %.3f, "
+      "p95 %.3f\nlast executed request: predicted %.4f s, measured %.4f s "
+      "(ratio %.3f)\n",
+      sstats.planned, sstats.drift_p50_ratio, sstats.drift_p95_ratio,
+      sample_stats.predicted_seconds, sample_stats.measured_seconds,
+      sample_stats.pred_over_actual());
 
   const double warm_speedup = rps(warm) / cold_rps;
   std::printf(

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   int ranks = 2;
   int nodes = 2;
   std::string report_path;
+  std::string rank_stats_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--n") == 0) n = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--k") == 0) k = std::atoll(argv[i + 1]);
@@ -44,6 +45,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--ranks") == 0) ranks = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--nodes") == 0) nodes = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--report") == 0) report_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--rank-stats") == 0) {
+      rank_stats_path = argv[i + 1];
+    }
   }
   nodes = std::clamp(nodes, 1, ranks);
   std::printf("observability demo: n=%lld k=%lld r=%lld ranks=%d\n",
@@ -131,6 +135,44 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "report: failed to write %s\n",
                    report_path.c_str());
     }
+  }
+
+  // --- 5. Executed per-rank ground truth (--rank-stats) -------------------
+  // Exact integer byte / message / wait-nanosecond totals per rank id,
+  // summed over the flat and hierarchical clusters — the reference
+  // tools/critical_path.py asserts its trace attribution against. Each
+  // cluster labels its rank threads "rank N", so a trace of this process
+  // carries both runs' spans under the same per-rank labels the sums here
+  // aggregate over.
+  if (!rank_stats_path.empty()) {
+    std::FILE* f = std::fopen(rank_stats_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "rank-stats: failed to write %s\n",
+                   rank_stats_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"ranks\":%d,\"per_rank\":[", ranks);
+    for (int rank = 0; rank < ranks; ++rank) {
+      const comm::RankCommStats a = cluster.rank_stats(rank);
+      const comm::RankCommStats b = grouped_cluster.rank_stats(rank);
+      std::fprintf(
+          f,
+          "%s{\"rank\":%d,\"bytes_sent\":%zu,\"bytes_received\":%zu,"
+          "\"messages_sent\":%zu,\"messages_received\":%zu,"
+          "\"intra_bytes_sent\":%zu,\"inter_bytes_sent\":%zu,"
+          "\"barrier_wait_ns\":%lld,\"recv_wait_ns\":%lld}",
+          rank == 0 ? "" : ",", rank, a.bytes_sent + b.bytes_sent,
+          a.bytes_received + b.bytes_received,
+          a.messages_sent + b.messages_sent,
+          a.messages_received + b.messages_received,
+          a.intra_bytes_sent + b.intra_bytes_sent,
+          a.inter_bytes_sent + b.inter_bytes_sent,
+          static_cast<long long>(a.barrier_wait_ns + b.barrier_wait_ns),
+          static_cast<long long>(a.recv_wait_ns + b.recv_wait_ns));
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    std::printf("rank stats: %s\n", rank_stats_path.c_str());
   }
 
   obs_cli.finish();

@@ -19,12 +19,26 @@ struct CommMetrics {
   obs::Counter& messages = obs::Registry::global().counter("comm.messages");
   obs::Histogram& barrier_wait = obs::Registry::global().histogram(
       "comm.barrier_wait_seconds");
+  obs::Histogram& recv_wait = obs::Registry::global().histogram(
+      "comm.recv_wait_seconds");
 
   static CommMetrics& get() {
     static CommMetrics m;
     return m;
   }
 };
+
+// Process-wide flow-id mint: ids must be unique across every SimCluster a
+// process runs (the demo stitches two clusters into one trace), so the
+// counter is global, never per-cluster. 0 is reserved for "untraced".
+std::uint64_t next_flow_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* flow_name(bool inter_node) {
+  return inter_node ? "comm.msg.inter" : "comm.msg.intra";
+}
 
 }  // namespace
 
@@ -36,14 +50,23 @@ const Topology& Rank::topology() const noexcept {
 
 void Rank::send(int dst, std::span<const double> data) {
   LC_CHECK_ARG(dst >= 0 && dst < cluster_->size(), "bad destination rank");
+  const std::size_t bytes = data.size() * sizeof(double);
+  const bool inter_node = !cluster_->topo_.same_node(id_, dst);
+  // Mint the flow context BEFORE enqueueing so the matching 'f' endpoint
+  // (recorded by the receiver) can never precede the 's' in the trace.
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::uint64_t ctx = 0;
+  if (tracer.enabled()) {
+    ctx = next_flow_id();
+    tracer.record_flow(flow_name(inter_node), ctx, bytes, /*finish=*/false);
+  }
   auto& ch = cluster_->channel(id_, dst);
   {
     std::lock_guard lock(ch.mutex);
-    ch.queue.emplace_back(data.begin(), data.end());
+    ch.queue.push_back(SimCluster::Message{
+        std::vector<double>(data.begin(), data.end()), ctx});
   }
   ch.available.notify_one();
-  const std::size_t bytes = data.size() * sizeof(double);
-  const bool inter_node = !cluster_->topo_.same_node(id_, dst);
   cluster_->stats_.bytes_sent += bytes;
   cluster_->stats_.messages += 1;
   if (inter_node) {
@@ -53,8 +76,14 @@ void Rank::send(int dst, std::span<const double> data) {
     cluster_->stats_.intra_bytes_sent += bytes;
     cluster_->stats_.intra_messages += 1;
   }
-  cluster_->stats_.modeled_nanos += static_cast<std::int64_t>(
+  const auto modeled = static_cast<std::int64_t>(
       cluster_->links_.level(inter_node).message_time(bytes) * 1e9);
+  cluster_->stats_.modeled_nanos += modeled;
+  if (inter_node) {
+    cluster_->stats_.inter_modeled_nanos += modeled;
+  } else {
+    cluster_->stats_.intra_modeled_nanos += modeled;
+  }
   auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
   mine.bytes_sent += bytes;
   mine.messages_sent += 1;
@@ -71,7 +100,12 @@ void Rank::send(int dst, std::span<const double> data) {
 std::vector<double> Rank::recv(int src) {
   LC_CHECK_ARG(src >= 0 && src < cluster_->size(), "bad source rank");
   auto& ch = cluster_->channel(src, id_);
-  std::vector<double> out;
+  SimCluster::Message msg;
+  // One clock sample pair feeds BOTH the recv-wait counter and the
+  // "comm.recv_wait" trace span, so the trace's per-rank wait attribution
+  // sums to RankCommStats::recv_wait_ns exactly.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::int64_t wait_start = tracer.now_ns();
   {
     std::unique_lock lock(ch.mutex);
     ch.available.wait(lock, [&] {
@@ -80,16 +114,27 @@ std::vector<double> Rank::recv(int src) {
     // Messages already delivered are still consumed; only an empty queue
     // with a dead sender is hopeless.
     if (ch.queue.empty()) cluster_->throw_if_aborted();
-    out = std::move(ch.queue.front());
+    msg = std::move(ch.queue.front());
     ch.queue.pop_front();
   }
-  const std::size_t bytes = out.size() * sizeof(double);
+  const std::int64_t waited_ns = tracer.now_ns() - wait_start;
+  const std::size_t bytes = msg.data.size() * sizeof(double);
+  auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
+  mine.recv_wait_ns += waited_ns;
+  if (tracer.enabled()) {
+    tracer.record("comm.recv_wait", wait_start, waited_ns);
+    if (msg.trace_ctx != 0) {
+      const bool inter_node = !cluster_->topo_.same_node(src, id_);
+      tracer.record_flow(flow_name(inter_node), msg.trace_ctx, bytes,
+                         /*finish=*/true);
+    }
+  }
+  CommMetrics::get().recv_wait.record(static_cast<double>(waited_ns) * 1e-9);
   cluster_->stats_.bytes_received += bytes;
   cluster_->stats_.messages_received += 1;
-  auto& mine = cluster_->per_rank_[static_cast<std::size_t>(id_)];
   mine.bytes_received += bytes;
   mine.messages_received += 1;
-  return out;
+  return std::move(msg.data);
 }
 
 std::vector<std::vector<double>> Rank::all_to_all(
@@ -215,8 +260,10 @@ RankCommStats SimCluster::rank_stats(int rank) const {
   out.messages_received = c.messages_received.load();
   out.intra_bytes_sent = c.intra_bytes_sent.load();
   out.inter_bytes_sent = c.inter_bytes_sent.load();
-  out.barrier_wait_seconds =
-      static_cast<double>(c.barrier_wait_ns.load()) * 1e-9;
+  out.barrier_wait_ns = c.barrier_wait_ns.load();
+  out.recv_wait_ns = c.recv_wait_ns.load();
+  out.barrier_wait_seconds = static_cast<double>(out.barrier_wait_ns) * 1e-9;
+  out.recv_wait_seconds = static_cast<double>(out.recv_wait_ns) * 1e-9;
   return out;
 }
 
@@ -230,12 +277,15 @@ void SimCluster::reset_stats() {
     c.intra_bytes_sent = 0;
     c.inter_bytes_sent = 0;
     c.barrier_wait_ns = 0;
+    c.recv_wait_ns = 0;
   }
 }
 
 void SimCluster::barrier_wait(int rank) {
-  LC_TRACE("comm.barrier");
-  const auto entered = std::chrono::steady_clock::now();
+  // Single clock sample pair for the counter AND the "comm.barrier" trace
+  // span (see recv): critical-path attribution must sum exactly.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::int64_t wait_start = tracer.now_ns();
   std::unique_lock lock(barrier_mutex_);
   throw_if_aborted();
   const std::uint64_t gen = barrier_generation_;
@@ -249,12 +299,11 @@ void SimCluster::barrier_wait(int rank) {
     });
   }
   lock.unlock();
-  const double waited = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - entered)
-                            .count();
-  per_rank_[static_cast<std::size_t>(rank)].barrier_wait_ns +=
-      static_cast<std::int64_t>(waited * 1e9);
-  CommMetrics::get().barrier_wait.record(waited);
+  const std::int64_t waited_ns = tracer.now_ns() - wait_start;
+  per_rank_[static_cast<std::size_t>(rank)].barrier_wait_ns += waited_ns;
+  if (tracer.enabled()) tracer.record("comm.barrier", wait_start, waited_ns);
+  CommMetrics::get().barrier_wait.record(static_cast<double>(waited_ns) *
+                                         1e-9);
   // A generation bump from abort_run also lands here; distinguish by flag
   // so ranks stop at THIS barrier instead of sailing into the next one.
   throw_if_aborted();
@@ -285,6 +334,12 @@ void SimCluster::run(const std::function<void(Rank&)>& body) {
 
   for (int r = 0; r < ranks_; ++r) {
     threads.emplace_back([&, r] {
+      // Label the track so stitched multi-rank traces read "rank N", and
+      // so tools/critical_path.py can group the per-run thread ids of one
+      // rank. Only when tracing — the label allocates this thread's buffer.
+      if (obs::Tracer::global().enabled()) {
+        obs::Tracer::global().set_thread_label("rank " + std::to_string(r));
+      }
       Rank rank(*this, r);
       try {
         body(rank);

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -62,9 +63,20 @@ struct CommStats {
   std::atomic<std::size_t> intra_messages{0};
   std::atomic<std::size_t> inter_messages{0};
   std::atomic<std::int64_t> modeled_nanos{0};
+  // Per-level split of modeled_nanos (intra + inter == total): the
+  // telemetry layer pairs these against the planner's per-level wire
+  // prediction, so drift is attributable to the link level that caused it.
+  std::atomic<std::int64_t> intra_modeled_nanos{0};
+  std::atomic<std::int64_t> inter_modeled_nanos{0};
 
   [[nodiscard]] double modeled_seconds() const {
     return static_cast<double>(modeled_nanos.load()) * 1e-9;
+  }
+  [[nodiscard]] double intra_modeled_seconds() const {
+    return static_cast<double>(intra_modeled_nanos.load()) * 1e-9;
+  }
+  [[nodiscard]] double inter_modeled_seconds() const {
+    return static_cast<double>(inter_modeled_nanos.load()) * 1e-9;
   }
 
   /// Per-level byte/message totals as a cost-model traffic record.
@@ -89,6 +101,8 @@ struct CommStats {
     intra_messages = 0;
     inter_messages = 0;
     modeled_nanos = 0;
+    intra_modeled_nanos = 0;
+    inter_modeled_nanos = 0;
   }
 };
 
@@ -104,6 +118,14 @@ struct RankCommStats {
   std::size_t intra_bytes_sent = 0;
   std::size_t inter_bytes_sent = 0;
   double barrier_wait_seconds = 0.0;
+  /// Time blocked in recv() waiting for a message to arrive.
+  double recv_wait_seconds = 0.0;
+  /// Exact integer-nanosecond originals of the wait totals above. Every
+  /// "comm.barrier" / "comm.recv_wait" trace span records the SAME integer
+  /// the counter accrued, so tools/critical_path.py can assert its
+  /// per-rank attribution sums match these exactly (no float rounding).
+  std::int64_t barrier_wait_ns = 0;
+  std::int64_t recv_wait_ns = 0;
 };
 
 class SimCluster;
@@ -197,10 +219,19 @@ class SimCluster {
  private:
   friend class Rank;
 
+  // A queued message plus its out-of-band trace context: the 8-byte flow id
+  // the sender minted (0 = untraced). Carried like an MPI envelope tag —
+  // NOT part of the payload, so byte accounting (and the static traffic
+  // mirror's byte-exactness) is unchanged by tracing.
+  struct Message {
+    std::vector<double> data;
+    std::uint64_t trace_ctx = 0;
+  };
+
   struct Channel {
     std::mutex mutex;
     std::condition_variable available;
-    std::deque<std::vector<double>> queue;
+    std::deque<Message> queue;
   };
 
   // Atomic backing store for RankCommStats, one slot per rank.
@@ -212,6 +243,7 @@ class SimCluster {
     std::atomic<std::size_t> intra_bytes_sent{0};
     std::atomic<std::size_t> inter_bytes_sent{0};
     std::atomic<std::int64_t> barrier_wait_ns{0};
+    std::atomic<std::int64_t> recv_wait_ns{0};
   };
 
   Channel& channel(int src, int dst) {

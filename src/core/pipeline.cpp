@@ -1,15 +1,22 @@
 #include "core/pipeline.hpp"
 
+#include <atomic>
 #include <bit>
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <span>
 
 #include "comm/hierarchical.hpp"
+#include "comm/wire_codec.hpp"
 #include "common/check.hpp"
+#include "common/runtime_flags.hpp"
 #include "common/timer.hpp"
+#include "device/memory_model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sampling/octree.hpp"
 
 namespace lc::core {
 
@@ -392,6 +399,44 @@ comm::LevelTraffic lowcomm_exchange_traffic(const Grid3& grid,
       topo, route, params.wire);
 }
 
+namespace {
+
+/// Point-in-time copy of the cluster counters the telemetry record diffs
+/// (CommStats aggregates plus the per-rank wait totals summed over ranks).
+struct ClusterCounters {
+  std::size_t bytes = 0;
+  std::size_t intra_bytes = 0;
+  std::size_t inter_bytes = 0;
+  std::size_t intra_msgs = 0;
+  std::size_t inter_msgs = 0;
+  std::int64_t modeled_ns = 0;
+  std::int64_t intra_modeled_ns = 0;
+  std::int64_t inter_modeled_ns = 0;
+  std::int64_t barrier_wait_ns = 0;
+  std::int64_t recv_wait_ns = 0;
+};
+
+ClusterCounters snapshot_counters(const comm::SimCluster& cluster) {
+  const comm::CommStats& s = cluster.stats();
+  ClusterCounters c;
+  c.bytes = s.bytes_sent.load();
+  c.intra_bytes = s.intra_bytes_sent.load();
+  c.inter_bytes = s.inter_bytes_sent.load();
+  c.intra_msgs = s.intra_messages.load();
+  c.inter_msgs = s.inter_messages.load();
+  c.modeled_ns = s.modeled_nanos.load();
+  c.intra_modeled_ns = s.intra_modeled_nanos.load();
+  c.inter_modeled_ns = s.inter_modeled_nanos.load();
+  for (int r = 0; r < cluster.size(); ++r) {
+    const comm::RankCommStats rs = cluster.rank_stats(r);
+    c.barrier_wait_ns += rs.barrier_wait_ns;
+    c.recv_wait_ns += rs.recv_wait_ns;
+  }
+  return c;
+}
+
+}  // namespace
+
 RealField distributed_lowcomm_convolve(
     comm::SimCluster& cluster, const RealField& input, const Grid3& grid,
     std::shared_ptr<const green::KernelSpectrum> kernel,
@@ -401,13 +446,119 @@ RealField distributed_lowcomm_convolve(
   RealField assembled(grid, 0.0);
   std::mutex assemble_mutex;
 
-  cluster.run([&](comm::Rank& rank) {
+  // Plan-vs-actual telemetry (DESIGN.md §18): when LC_TELEMETRY is active,
+  // freeze the cost-model predictions for THIS (params, topology, route)
+  // before running — exact static traffic mirror, per-level α-β times at
+  // the cluster's own link models, the shared compute formula at the static
+  // default rate (the planner's 2e8 point-passes/s baseline; drift against
+  // it is exactly what the calibration fitter learns from) — then diff the
+  // executed counters into the measured side. Gated on the sink because the
+  // static mirror walks every octree, which is not free on hot test paths.
+  const bool telemetry = obs::telemetry_enabled();
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::PlanOutcome rec;
+  ClusterCounters before;
+  std::atomic<std::int64_t> max_local_convolve_ns{0};
+  std::atomic<std::size_t> max_device_peak{0};
+  if (telemetry) {
+    rec.source = "pipeline";
+    rec.n = grid.nx;
+    rec.ranks = workers;
+    rec.nodes = cluster.topology().nodes();
+    rec.k = params.subdomain;
+    rec.far_rate = static_cast<int>(params.far_rate);
+    rec.schedule = params.uniform_rate ? "uniform" : "banded";
+    rec.route = hier ? "hierarchical" : "flat";
+    rec.wire = comm::codec_name(params.wire);
+    rec.batch = static_cast<std::int64_t>(params.batch);
+
+    const auto traffic = lowcomm_exchange_traffic(
+        grid, params, cluster.topology(),
+        hier ? ExchangeRoute::kHierarchical : ExchangeRoute::kFlat);
+    rec.pred_bytes = static_cast<std::int64_t>(traffic.total_bytes());
+    rec.pred_intra_bytes = static_cast<std::int64_t>(traffic.intra_bytes);
+    rec.pred_inter_bytes = static_cast<std::int64_t>(traffic.inter_bytes);
+    rec.pred_intra_msgs = static_cast<std::int64_t>(traffic.intra_messages);
+    rec.pred_inter_msgs = static_cast<std::int64_t>(traffic.inter_messages);
+    const auto times = comm::predict_exchange_times(traffic, cluster.links());
+    rec.pred_intra_s = times.intra_seconds;
+    rec.pred_inter_s = times.inter_seconds;
+    rec.pred_wire_s = times.total_seconds();
+
+    // Compute model: representative central sub-domain octree, the same
+    // formula the planner prices with (obs::modeled_point_passes). The
+    // half-spectrum scale follows what this run will actually execute.
+    const DomainDecomposition decomp(grid, params.subdomain);
+    const i64 blocks = grid.nx / params.subdomain;
+    const i64 c0 = (blocks / 2) * params.subdomain;
+    const sampling::Octree central(
+        grid, Box3::cube_at({c0, c0, c0}, params.subdomain),
+        params.make_policy());
+    const double owned =
+        std::ceil(static_cast<double>(decomp.count()) /
+                  static_cast<double>(std::max(workers, 1)));
+    const bool half = real_path_enabled() && kernel->hermitian();
+    rec.pred_point_passes =
+        owned * obs::modeled_point_passes(grid.nx, params.subdomain,
+                                          central.retained_z_planes().size(),
+                                          half);
+    rec.pred_rate_pps = 2e8;  // PlanRequest::compute_rate_pps default
+    rec.pred_compute_s = rec.pred_point_passes / rec.pred_rate_pps;
+    rec.pred_memory_b = static_cast<std::int64_t>(
+        device::plan_local_pipeline(grid.nx, params.subdomain,
+                                    params.make_policy(), params.batch)
+            .actual_total());
+    before = snapshot_counters(cluster);
+  }
+  const std::int64_t wall_start = tracer.now_ns();
+
+  const auto emit_outcome = [&](bool aborted) {
+    rec.aborted = aborted;
+    rec.meas_wall_s =
+        static_cast<double>(tracer.now_ns() - wall_start) * 1e-9;
+    rec.meas_compute_s =
+        static_cast<double>(max_local_convolve_ns.load()) * 1e-9;
+    const ClusterCounters after = snapshot_counters(cluster);
+    rec.meas_bytes = static_cast<std::int64_t>(after.bytes - before.bytes);
+    rec.meas_intra_bytes =
+        static_cast<std::int64_t>(after.intra_bytes - before.intra_bytes);
+    rec.meas_inter_bytes =
+        static_cast<std::int64_t>(after.inter_bytes - before.inter_bytes);
+    rec.meas_intra_msgs =
+        static_cast<std::int64_t>(after.intra_msgs - before.intra_msgs);
+    rec.meas_inter_msgs =
+        static_cast<std::int64_t>(after.inter_msgs - before.inter_msgs);
+    rec.meas_wire_s =
+        static_cast<double>(after.modeled_ns - before.modeled_ns) * 1e-9;
+    rec.meas_intra_wire_s =
+        static_cast<double>(after.intra_modeled_ns - before.intra_modeled_ns) *
+        1e-9;
+    rec.meas_inter_wire_s =
+        static_cast<double>(after.inter_modeled_ns - before.inter_modeled_ns) *
+        1e-9;
+    rec.meas_barrier_wait_s =
+        static_cast<double>(after.barrier_wait_ns - before.barrier_wait_ns) *
+        1e-9;
+    rec.meas_recv_wait_s =
+        static_cast<double>(after.recv_wait_ns - before.recv_wait_ns) * 1e-9;
+    rec.meas_memory_peak_b =
+        static_cast<std::int64_t>(max_device_peak.load());
+    rec.meas_max_quant_error =
+        obs::Registry::global().gauge("exchange.max_quant_error").value();
+    obs::record_plan_outcome(rec);
+  };
+
+  const auto body = [&](comm::Rank& rank) {
     // Every rank builds the same deterministic engine; octrees are
     // reproducible from (grid, params), so only payloads need to travel
     // and both sides agree on the framing without any metadata exchange.
     LocalConvolverConfig cfg;
     cfg.batch = params.batch;
     cfg.pool = nullptr;  // ranks are already threads; keep them single-core
+    // Telemetry measures the per-rank allocation peak through a private
+    // DeviceContext (unlimited spec: tracking only, never admission).
+    device::DeviceContext rank_device(device::DeviceSpec::unlimited());
+    if (telemetry) cfg.device = &rank_device;
     LowCommConvolution engine(grid, kernel, params, cfg);
     const auto& decomp = engine.decomposition();
     std::vector<std::vector<std::size_t>> owned(
@@ -428,8 +579,16 @@ RealField distributed_lowcomm_convolve(
     local.reserve(mine.size());
     {
       LC_TRACE("exchange.local_convolve");
+      const std::int64_t t0 = tracer.now_ns();
       for (const std::size_t d : mine) {
         local.push_back(engine.convolve_one(input, d));
+      }
+      // Telemetry's measured compute is the slowest rank's local-convolve
+      // time — the quantity the compute model predicts (lock-free max).
+      const std::int64_t took = tracer.now_ns() - t0;
+      std::int64_t cur = max_local_convolve_ns.load(std::memory_order_relaxed);
+      while (cur < took && !max_local_convolve_ns.compare_exchange_weak(
+                               cur, took, std::memory_order_relaxed)) {
       }
     }
 
@@ -600,7 +759,29 @@ RealField distributed_lowcomm_convolve(
       std::lock_guard lock(assemble_mutex);
       assembled.insert(tile, box.lo);
     }
-  });
+    if (telemetry) {
+      const std::size_t peak = rank_device.peak_bytes();
+      std::size_t cur = max_device_peak.load(std::memory_order_relaxed);
+      while (cur < peak && !max_device_peak.compare_exchange_weak(
+                               cur, peak, std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  if (!telemetry) {
+    cluster.run(body);
+    return assembled;
+  }
+  try {
+    cluster.run(body);
+  } catch (...) {
+    // A rank abort still produces a well-formed record: the predictions
+    // stand, the measured side reflects whatever executed before the
+    // unwind, and aborted=true marks it unusable for calibration.
+    emit_outcome(true);
+    throw;
+  }
+  emit_outcome(false);
   return assembled;
 }
 

@@ -357,6 +357,32 @@ class Registry {
                     s.sum, n.c_str(),
                     static_cast<unsigned long long>(s.count));
       out += buf;
+      // Real cumulative histogram exposition under a sibling name — a
+      // summary and a histogram cannot legally share a metric family, and
+      // the quantile lines above are what the existing CI checker reads.
+      // Buckets are sparse: only octave edges that saw samples are listed
+      // (plus the mandatory +Inf), keeping the page small while letting
+      // Prometheus/Grafana aggregate with histogram_quantile().
+      const std::string hn = n + "_hist";
+      out += "# TYPE " + hn + " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (s.buckets[i] == 0) continue;
+        cum += s.buckets[i];
+        const double upper = Histogram::bucket_upper(i);
+        if (std::isinf(upper)) continue;  // folded into +Inf below
+        std::snprintf(buf, sizeof buf, "%s_bucket{le=\"%.9g\"} %llu\n",
+                      hn.c_str(), upper,
+                      static_cast<unsigned long long>(cum));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof buf,
+                    "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %.9g\n"
+                    "%s_count %llu\n",
+                    hn.c_str(), static_cast<unsigned long long>(s.count),
+                    hn.c_str(), s.sum, hn.c_str(),
+                    static_cast<unsigned long long>(s.count));
+      out += buf;
     }
     return out;
   }

@@ -1,0 +1,141 @@
+// JSONL history reader for the plan-vs-actual telemetry (DESIGN.md §18).
+//
+// The records are flat single-line JSON objects written by to_json_line();
+// the scanner below exploits that shape (no nesting, no escaped strings)
+// instead of pulling in a JSON library. A half-written or foreign line
+// simply fails to parse and is skipped — the writer's single-fwrite append
+// discipline means that can only happen for files produced elsewhere.
+#include "obs/telemetry.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace lc::obs {
+
+namespace {
+
+/// Locate `"key":` in `line` and return the character index of the value.
+bool find_value(const std::string& line, const char* key, std::size_t& pos) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  return true;
+}
+
+bool scan_double(const std::string& line, const char* key, double& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + pos, &end);
+  return end != line.c_str() + pos;
+}
+
+bool scan_int(const std::string& line, const char* key, std::int64_t& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + pos, &end, 10);
+  return end != line.c_str() + pos;
+}
+
+bool scan_string(const std::string& line, const char* key, std::string& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const std::size_t close = line.find('"', pos + 1);
+  if (close == std::string::npos) return false;
+  out = line.substr(pos + 1, close - pos - 1);
+  return true;
+}
+
+bool scan_bool(const std::string& line, const char* key, bool& out) {
+  std::size_t pos = 0;
+  if (!find_value(line, key, pos)) return false;
+  if (line.compare(pos, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_plan_outcome(const std::string& line, PlanOutcome& o) {
+  // A record must open and close an object on the same line (torn-line
+  // guard) and carry the version + identity fields.
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  std::int64_t v = 0;
+  if (!scan_int(line, "v", v)) return false;
+  o.v = static_cast<int>(v);
+  if (!scan_string(line, "source", o.source)) return false;
+  if (!scan_bool(line, "aborted", o.aborted)) return false;
+
+  std::int64_t tmp = 0;
+  const auto geti = [&](const char* key, std::int64_t& field) {
+    if (scan_int(line, key, tmp)) field = tmp;
+  };
+  const auto getn = [&](const char* key, int& field) {
+    if (scan_int(line, key, tmp)) field = static_cast<int>(tmp);
+  };
+  const auto getd = [&](const char* key, double& field) {
+    double d = 0.0;
+    if (scan_double(line, key, d)) field = d;
+  };
+  geti("n", o.n);
+  getn("ranks", o.ranks);
+  getn("nodes", o.nodes);
+  geti("k", o.k);
+  getn("far_rate", o.far_rate);
+  (void)scan_string(line, "schedule", o.schedule);
+  (void)scan_string(line, "route", o.route);
+  (void)scan_string(line, "wire", o.wire);
+  geti("batch", o.batch);
+  getd("pred_compute_s", o.pred_compute_s);
+  getd("pred_point_passes", o.pred_point_passes);
+  getd("pred_rate_pps", o.pred_rate_pps);
+  getd("pred_wire_s", o.pred_wire_s);
+  getd("pred_intra_s", o.pred_intra_s);
+  getd("pred_inter_s", o.pred_inter_s);
+  geti("pred_bytes", o.pred_bytes);
+  geti("pred_intra_bytes", o.pred_intra_bytes);
+  geti("pred_inter_bytes", o.pred_inter_bytes);
+  geti("pred_intra_msgs", o.pred_intra_msgs);
+  geti("pred_inter_msgs", o.pred_inter_msgs);
+  geti("pred_memory_b", o.pred_memory_b);
+  getd("pred_rel_error", o.pred_rel_error);
+  getd("meas_wall_s", o.meas_wall_s);
+  getd("meas_compute_s", o.meas_compute_s);
+  getd("meas_wire_s", o.meas_wire_s);
+  getd("meas_intra_wire_s", o.meas_intra_wire_s);
+  getd("meas_inter_wire_s", o.meas_inter_wire_s);
+  geti("meas_bytes", o.meas_bytes);
+  geti("meas_intra_bytes", o.meas_intra_bytes);
+  geti("meas_inter_bytes", o.meas_inter_bytes);
+  geti("meas_intra_msgs", o.meas_intra_msgs);
+  geti("meas_inter_msgs", o.meas_inter_msgs);
+  geti("meas_memory_peak_b", o.meas_memory_peak_b);
+  getd("meas_max_quant_error", o.meas_max_quant_error);
+  getd("meas_barrier_wait_s", o.meas_barrier_wait_s);
+  getd("meas_recv_wait_s", o.meas_recv_wait_s);
+  return true;
+}
+
+std::vector<PlanOutcome> read_plan_outcomes(const std::string& path) {
+  std::vector<PlanOutcome> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    PlanOutcome o;
+    if (parse_plan_outcome(line, o)) out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace lc::obs

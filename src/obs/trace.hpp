@@ -24,13 +24,23 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lc::obs {
 
 /// One completed span, timestamps in nanoseconds since the tracer's epoch.
+///
+/// `phase` follows the Chrome trace-event phase letters: 'X' complete span
+/// (the default), 's'/'f' flow start/finish (cross-thread arrows stitching
+/// a send to its matching recv; `flow_id` pairs them, `bytes` annotates the
+/// payload). Flow events have dur_ns == 0.
 struct TraceEvent {
   const char* name = nullptr;  ///< static string (macro literal)
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
+  char phase = 'X';
+  std::uint64_t flow_id = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Process-wide tracer with per-thread append-only buffers.
@@ -72,14 +82,25 @@ class Tracer {
   /// this thread's buffer is full.
   void record(const char* name, std::int64_t start_ns,
               std::int64_t dur_ns) noexcept {
+    push(TraceEvent{name, start_ns, dur_ns, 'X', 0, 0});
+  }
+
+  /// Record a flow endpoint ('s' on the sending thread, 'f' on the
+  /// receiving one). The two halves share `flow_id`; Perfetto draws an
+  /// arrow between the enclosing spans. `bytes` annotates the payload so
+  /// per-link traffic can be re-summed from the trace alone.
+  void record_flow(const char* name, std::uint64_t flow_id,
+                   std::uint64_t bytes, bool finish) noexcept {
+    push(TraceEvent{name, now_ns(), 0, finish ? 'f' : 's', flow_id, bytes});
+  }
+
+  /// Human-readable label for the calling thread's track ("rank 3",
+  /// "dispatcher"). Exported as a Chrome `thread_name` metadata event so
+  /// stitched multi-rank traces stay readable. `label` is copied.
+  void set_thread_label(const std::string& label) {
     Buffer& buf = local_buffer();
-    const std::size_t i = buf.count.load(std::memory_order_relaxed);
-    if (i >= kBufferCapacity) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    buf.slots[i] = TraceEvent{name, start_ns, dur_ns};
-    buf.count.store(i + 1, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mutex_);
+    buf.label = label;
   }
 
   /// Total recorded events across all threads (consistent prefix).
@@ -103,13 +124,17 @@ class Tracer {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& buf : buffers_) {
       buf->count.store(0, std::memory_order_release);
+      buf->dropped.store(0, std::memory_order_relaxed);
     }
     dropped_.store(0, std::memory_order_relaxed);
+    warned_.store(false, std::memory_order_relaxed);
   }
 
   /// Events recorded by one thread, in recording order.
   struct ThreadEvents {
     std::uint32_t tid = 0;
+    std::size_t dropped = 0;  ///< events this thread lost to a full buffer
+    std::string label;        ///< track label from set_thread_label(), or ""
     std::vector<TraceEvent> events;
   };
 
@@ -122,6 +147,8 @@ class Tracer {
       const std::size_t n = buf->count.load(std::memory_order_acquire);
       ThreadEvents te;
       te.tid = buf->tid;
+      te.dropped = buf->dropped.load(std::memory_order_relaxed);
+      te.label = buf->label;
       te.events.assign(buf->slots.begin(),
                        buf->slots.begin() + static_cast<std::ptrdiff_t>(n));
       out.push_back(std::move(te));
@@ -130,21 +157,52 @@ class Tracer {
   }
 
   /// Chrome trace-event JSON (Perfetto-loadable). Timestamps in
-  /// microseconds with nanosecond precision.
+  /// microseconds with nanosecond precision ("%.3f" µs — the analyzer
+  /// recovers exact nanoseconds via round(µs * 1000)). Spans are "X"
+  /// complete events; cross-thread flows are "s"/"f" pairs bound to the
+  /// enclosing spans; labeled threads get "M" thread_name metadata. The
+  /// top-level `droppedEvents` field totals buffer-overflow losses so a
+  /// truncated trace is detectable from the artifact alone.
   [[nodiscard]] std::string render_chrome_trace() const {
     const std::vector<ThreadEvents> threads = snapshot();
     std::string out;
-    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%llu,"
+                  "\"traceEvents\":[",
+                  static_cast<unsigned long long>(dropped()));
+    out += line;
     bool first = true;
-    char line[256];
     for (const ThreadEvents& te : threads) {
-      for (const TraceEvent& ev : te.events) {
+      if (!te.label.empty()) {
         std::snprintf(line, sizeof line,
-                      "%s\n{\"name\":\"%s\",\"cat\":\"lc\",\"ph\":\"X\","
-                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
-                      first ? "" : ",", ev.name, te.tid,
-                      static_cast<double>(ev.start_ns) * 1e-3,
-                      static_cast<double>(ev.dur_ns) * 1e-3);
+                      "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                      first ? "" : ",", te.tid, te.label.c_str());
+        out += line;
+        first = false;
+      }
+      for (const TraceEvent& ev : te.events) {
+        if (ev.phase == 'X') {
+          std::snprintf(line, sizeof line,
+                        "%s\n{\"name\":\"%s\",\"cat\":\"lc\",\"ph\":\"X\","
+                        "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                        first ? "" : ",", ev.name, te.tid,
+                        static_cast<double>(ev.start_ns) * 1e-3,
+                        static_cast<double>(ev.dur_ns) * 1e-3);
+        } else {
+          // Flow endpoints: 'f' binds to the enclosing slice ("bp":"e") so
+          // Perfetto draws the arrow into the receiver's span.
+          std::snprintf(line, sizeof line,
+                        "%s\n{\"name\":\"%s\",\"cat\":\"lc\",\"ph\":\"%c\","
+                        "\"id\":\"0x%llx\",\"pid\":1,\"tid\":%u,\"ts\":%.3f%s,"
+                        "\"args\":{\"bytes\":%llu}}",
+                        first ? "" : ",", ev.name, ev.phase,
+                        static_cast<unsigned long long>(ev.flow_id), te.tid,
+                        static_cast<double>(ev.start_ns) * 1e-3,
+                        ev.phase == 'f' ? ",\"bp\":\"e\"" : "",
+                        static_cast<unsigned long long>(ev.bytes));
+        }
         out += line;
         first = false;
       }
@@ -168,17 +226,41 @@ class Tracer {
   struct Buffer {
     std::uint32_t tid = 0;
     std::atomic<std::size_t> count{0};
+    std::atomic<std::size_t> dropped{0};
+    std::string label;  // written/read under the tracer mutex only
     std::vector<TraceEvent> slots;
   };
+
+  void push(const TraceEvent& ev) noexcept {
+    Buffer& buf = local_buffer();
+    const std::size_t i = buf.count.load(std::memory_order_relaxed);
+    if (i >= kBufferCapacity) {
+      buf.dropped.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      Registry::global().counter("trace.dropped_events").add();
+      if (!warned_.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "[lc::obs] trace buffer full on thread %u: further "
+                     "events on this thread will be dropped (capacity %zu "
+                     "events/thread)\n",
+                     buf.tid, kBufferCapacity);
+      }
+      return;
+    }
+    buf.slots[i] = ev;
+    buf.count.store(i + 1, std::memory_order_release);
+  }
 
   Buffer& local_buffer() {
     // One cached buffer per (thread, tracer). A thread touches at most a
     // couple of tracers (the global one, plus test-local instances), so a
-    // linear scan over the cache is cheaper than any map.
-    thread_local std::vector<std::pair<const Tracer*, std::shared_ptr<Buffer>>>
+    // linear scan over the cache is cheaper than any map. Keyed by the
+    // tracer's never-reused id, not its address: a new tracer allocated at
+    // a destroyed one's address must not inherit the stale buffer.
+    thread_local std::vector<std::pair<std::uint64_t, std::shared_ptr<Buffer>>>
         cache;
-    for (const auto& [tracer, buf] : cache) {
-      if (tracer == this) return *buf;
+    for (const auto& [tracer_id, buf] : cache) {
+      if (tracer_id == id_) return *buf;
     }
     auto buf = std::make_shared<Buffer>();
     buf->slots.resize(kBufferCapacity);
@@ -187,10 +269,16 @@ class Tracer {
       buf->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
       buffers_.push_back(buf);
     }
-    cache.emplace_back(this, buf);
+    cache.emplace_back(id_, buf);
     return *buf;
   }
 
+  static std::uint64_t next_tracer_id() noexcept {
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_ = next_tracer_id();
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
   mutable std::mutex mutex_;
@@ -198,6 +286,7 @@ class Tracer {
   std::vector<std::shared_ptr<Buffer>> buffers_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::size_t> dropped_{0};
+  std::atomic<bool> warned_{false};
 };
 
 /// RAII span against Tracer::global(): samples the clock on entry if the

@@ -1,0 +1,203 @@
+#include "planner/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace lc::planner {
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Per-level α-β least squares over (messages, bytes) → seconds triples.
+/// Falls back to a pure-bandwidth fit (α = 0, β = median s/b) when the
+/// normal matrix is singular — all samples sharing one message/byte shape
+/// cannot separate latency from bandwidth.
+void fit_level(const std::vector<double>& msgs, const std::vector<double>& bytes,
+               const std::vector<double>& secs, double& alpha, double& beta) {
+  alpha = 0.0;
+  beta = 0.0;
+  if (msgs.size() < 2) {
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (bytes[i] > 0.0) ratios.push_back(secs[i] / bytes[i]);
+    }
+    beta = median(std::move(ratios));
+    return;
+  }
+  double smm = 0.0, sbb = 0.0, smb = 0.0, sms = 0.0, sbs = 0.0;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    smm += msgs[i] * msgs[i];
+    sbb += bytes[i] * bytes[i];
+    smb += msgs[i] * bytes[i];
+    sms += msgs[i] * secs[i];
+    sbs += bytes[i] * secs[i];
+  }
+  const double det = smm * sbb - smb * smb;
+  if (!(std::abs(det) > 1e-12 * smm * sbb) || smm == 0.0 || sbb == 0.0) {
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (bytes[i] > 0.0) ratios.push_back(secs[i] / bytes[i]);
+    }
+    beta = median(std::move(ratios));
+    return;
+  }
+  alpha = (sms * sbb - sbs * smb) / det;
+  beta = (sbs * smm - sms * smb) / det;
+  // Negative coefficients are a sign of collinearity, not physics; clamp
+  // and refit the surviving term so predictions stay monotone in traffic.
+  if (alpha < 0.0 || beta < 0.0) {
+    alpha = 0.0;
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (bytes[i] > 0.0) ratios.push_back(secs[i] / bytes[i]);
+    }
+    beta = median(std::move(ratios));
+  }
+}
+
+bool scan_number(const std::string& text, const char* key, double& out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+}  // namespace
+
+std::string Calibration::cache_salt() const {
+  if (!valid) return "-";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "s%d:r%.6g:ia%.4g:ib%.4g:oa%.4g:ob%.4g",
+                samples, rate_pps, intra_alpha, intra_beta, inter_alpha,
+                inter_beta);
+  return buf;
+}
+
+Calibration fit_calibration(const std::vector<obs::PlanOutcome>& records,
+                            int min_samples) {
+  Calibration cal;
+  std::vector<double> rates;
+  std::vector<double> im, ib, is, om, ob, os;
+  for (const obs::PlanOutcome& r : records) {
+    // Aborted runs have partial measurements; single-rank (service-local)
+    // records have no exchange and their compute includes assembly noise —
+    // the distributed records are the planner-shaped samples.
+    if (r.aborted || r.ranks <= 1) continue;
+    if (r.meas_compute_s <= 0.0 || r.pred_point_passes <= 0.0) continue;
+    rates.push_back(r.pred_point_passes / r.meas_compute_s);
+    if (r.meas_intra_bytes > 0 && r.meas_intra_wire_s > 0.0) {
+      im.push_back(static_cast<double>(r.meas_intra_msgs));
+      ib.push_back(static_cast<double>(r.meas_intra_bytes));
+      is.push_back(r.meas_intra_wire_s);
+    }
+    if (r.meas_inter_bytes > 0 && r.meas_inter_wire_s > 0.0) {
+      om.push_back(static_cast<double>(r.meas_inter_msgs));
+      ob.push_back(static_cast<double>(r.meas_inter_bytes));
+      os.push_back(r.meas_inter_wire_s);
+    }
+  }
+  cal.samples = static_cast<int>(rates.size());
+  if (cal.samples < min_samples) return cal;  // invalid: defaults stand
+  cal.rate_pps = median(rates);
+  fit_level(im, ib, is, cal.intra_alpha, cal.intra_beta);
+  fit_level(om, ob, os, cal.inter_alpha, cal.inter_beta);
+  cal.valid = cal.rate_pps > 0.0;
+  return cal;
+}
+
+Calibration fit_calibration_file(const std::string& history_path,
+                                 int min_samples) {
+  return fit_calibration(obs::read_plan_outcomes(history_path), min_samples);
+}
+
+bool save_calibration(const Calibration& cal, const std::string& path) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"v\":1,\"samples\":%d,\"rate_pps\":%.9g,"
+                "\"intra_alpha\":%.9g,\"intra_beta\":%.9g,"
+                "\"inter_alpha\":%.9g,\"inter_beta\":%.9g}\n",
+                cal.samples, cal.rate_pps, cal.intra_alpha, cal.intra_beta,
+                cal.inter_alpha, cal.inter_beta);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t len = std::strlen(buf);
+  const bool ok = std::fwrite(buf, 1, len, f) == len;
+  return (std::fclose(f) == 0) && ok;
+}
+
+Calibration load_calibration(const std::string& path) {
+  Calibration cal;
+  std::ifstream in(path);
+  if (!in) return cal;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  double samples = 0.0;
+  if (!scan_number(text, "samples", samples)) return cal;
+  cal.samples = static_cast<int>(samples);
+  (void)scan_number(text, "rate_pps", cal.rate_pps);
+  (void)scan_number(text, "intra_alpha", cal.intra_alpha);
+  (void)scan_number(text, "intra_beta", cal.intra_beta);
+  (void)scan_number(text, "inter_alpha", cal.inter_alpha);
+  (void)scan_number(text, "inter_beta", cal.inter_beta);
+  cal.valid = cal.samples >= kMinCalibrationSamples && cal.rate_pps > 0.0;
+  return cal;
+}
+
+namespace {
+
+std::mutex g_cal_mutex;
+Calibration g_cal;
+bool g_cal_loaded = false;
+
+}  // namespace
+
+const Calibration& calibration_from_env() {
+  std::lock_guard<std::mutex> lock(g_cal_mutex);
+  if (!g_cal_loaded) {
+    g_cal_loaded = true;
+    const char* env = std::getenv("LC_CALIBRATION");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "off") != 0) {
+      g_cal = load_calibration(env);
+    }
+  }
+  return g_cal;
+}
+
+void reload_calibration() {
+  std::lock_guard<std::mutex> lock(g_cal_mutex);
+  g_cal_loaded = false;
+  g_cal = Calibration{};
+}
+
+PlanRequest apply_calibration(PlanRequest req, const Calibration& cal) {
+  if (!cal.valid) return req;
+  if (cal.rate_pps > 0.0) req.compute_rate_pps = cal.rate_pps;
+  if (cal.intra_alpha > 0.0 || cal.intra_beta > 0.0) {
+    req.links.intra = comm::AlphaBetaModel{cal.intra_alpha, cal.intra_beta};
+  }
+  if (cal.inter_alpha > 0.0 || cal.inter_beta > 0.0) {
+    req.links.inter = comm::AlphaBetaModel{cal.inter_alpha, cal.inter_beta};
+  }
+  return req;
+}
+
+}  // namespace lc::planner

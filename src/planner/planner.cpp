@@ -11,7 +11,9 @@
 #include "core/hyperparams.hpp"
 #include "device/memory_model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "planner/calibration.hpp"
 #include "planner/probe.hpp"
 #include "sampling/octree.hpp"
 
@@ -116,21 +118,12 @@ CandidateCost price_block(const PlanRequest& req, const Candidate& c,
   const double owned =
       std::ceil(subdomains / static_cast<double>(std::max(req.ranks, 1)));
 
-  // Compute model, in transform point-passes: the xy stage touches n²·k
-  // points, the z stage runs every pencil forward (n³), and only the
-  // retained planes come back through the 2D inverse. log₂n passes each.
-  // The Hermitian half-spectrum path (LC_REAL, DESIGN.md §16) processes
-  // only the n/2+1 x-bins in every stage, scaling all three terms.
-  const double lg = std::log2(static_cast<double>(n));
-  const double n2 = static_cast<double>(n) * static_cast<double>(n);
-  const double real_scale =
-      real_path_enabled()
-          ? static_cast<double>(n / 2 + 1) / static_cast<double>(n)
-          : 1.0;
+  // Compute model in transform point-passes — obs::modeled_point_passes is
+  // the single source shared with the telemetry emitter, so a rate fitted
+  // from plan-vs-actual history (planner/calibration.hpp) is directly
+  // substitutable for req.compute_rate_pps.
   const double per_subdomain =
-      (n2 * static_cast<double>(k) + n2 * static_cast<double>(n) +
-       n2 * static_cast<double>(shape.planes)) *
-      lg * real_scale;
+      obs::modeled_point_passes(n, k, shape.planes, real_path_enabled());
   cost.compute_seconds = owned * per_subdomain / req.compute_rate_pps;
 
   // Wire model: each rank ships its owned sub-domains' exact octree payload
@@ -305,8 +298,12 @@ Planner::Planner(PlannerConfig config) : config_(std::move(config)) {
 }
 
 std::vector<RankedCandidate> Planner::enumerate(
-    const PlanRequest& req) const {
+    const PlanRequest& request) const {
   LC_TRACE("planner.enumerate");
+  // Closed loop: a fitted LC_CALIBRATION replaces the static device-peak
+  // rate and default link params before any candidate is priced (no-op
+  // when unset/invalid; idempotent when plan() already applied it).
+  const PlanRequest req = apply_calibration(request, calibration_from_env());
   LC_CHECK_ARG(req.n >= 2, "grid side must be >= 2");
   LC_CHECK_ARG(req.ranks >= 1, "need at least one rank");
   LC_CHECK_ARG(req.topology.ranks() == req.ranks,
@@ -476,6 +473,9 @@ std::string cache_key(const PlanRequest& req, Mode mode) {
          std::to_string(req.device.capacity_bytes);
   key += "/acc=" + std::to_string(req.max_rel_error);
   key += "/mode=" + std::string(mode_name(mode));
+  // Salt with the active calibration: a new fit must invalidate cached
+  // plans priced under the old rates.
+  key += "/cal=" + calibration_from_env().cache_salt();
   if (req.pinned) {
     const core::LowCommParams& p = *req.pinned;
     key += "/pin=k" + std::to_string(p.subdomain) + "r" +

@@ -14,7 +14,9 @@
 #include "fft/real_fft.hpp"
 #include "green/kernel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "planner/calibration.hpp"
 #include "runtime/plan_provider.hpp"
 #include "sampling/octree.hpp"
 
@@ -118,6 +120,11 @@ struct ConvolutionService::Job {
   RequestStats stats;
   std::string engine_key;
   std::string result_key;  // empty when result caching is off
+  // The resolved execution plan (null under planner::Mode::kOff) and the
+  // compute rate its price was quoted at — the plan-vs-actual telemetry
+  // pairs these with the realized run time at response delivery.
+  std::shared_ptr<const planner::ExecutionPlan> plan;
+  double plan_rate_pps = 0.0;
   std::shared_ptr<const core::LowCommConvolution> engine;
   std::vector<std::size_t> subdomains;  // sub-domain indices to convolve
   // One slot per sub-domain task (CompressedField has no empty state, so
@@ -398,6 +405,14 @@ void ConvolutionService::run_wave(Wave& wave) {
         const auto plan =
             plan_cached(cache_, planner_, preq, &job->stats.plan_cache_hit);
         job->request.params = plan->params();
+        job->plan = plan;
+        // The rate the plan's compute price is quoted at: the request
+        // default unless a calibration fit overrides it (plan cache keys
+        // are salted with the calibration, so a cached plan always matches
+        // the currently loaded fit).
+        job->plan_rate_pps =
+            planner::apply_calibration(preq, planner::calibration_from_env())
+                .compute_rate_pps;
       }
       job->engine_key = engine_key_of(job->request);
       if (config_.cache_results) {
@@ -463,6 +478,15 @@ void ConvolutionService::run_wave(Wave& wave) {
         }
       }
       job->stats.subdomains = job->subdomains.size();
+      if (job->plan != nullptr && decomp.count() > 0) {
+        // The plan prices the full decomposition (its single-rank request
+        // owns every sub-domain); a sub-domain-scoped request executes only
+        // its share of that work.
+        job->stats.predicted_seconds =
+            job->plan->cost.compute_seconds *
+            static_cast<double>(job->subdomains.size()) /
+            static_cast<double>(decomp.count());
+      }
       job->slots.resize(job->subdomains.size());
     } catch (...) {
       std::lock_guard lock(mutex_);
@@ -629,6 +653,7 @@ void ConvolutionService::run_wave(Wave& wave) {
         static_cast<double>(result.compressed_samples);
 
     job->stats.run_seconds = seconds_since(wave_start);
+    job->stats.measured_seconds = job->stats.run_seconds;
 
     if (config_.cache_results && !job->result_key.empty()) {
       const std::size_t bytes =
@@ -646,6 +671,48 @@ void ConvolutionService::run_wave(Wave& wave) {
     {
       std::lock_guard lock(mutex_);
       ++counters_.completed;
+      if (job->stats.predicted_seconds > 0.0) ++counters_.planned;
+    }
+    if (const double ratio = job->stats.pred_over_actual(); ratio > 0.0) {
+      drift_hist_.record(ratio);
+    }
+    if (job->plan != nullptr) {
+      // Plan-vs-actual record for the serving path (result-cache hits and
+      // planner-off requests never reach here — nothing was predicted).
+      // Ranks/nodes are 1: the service convolves locally; its records feed
+      // the drift gauges and digests but not the distributed-rate fit.
+      obs::PlanOutcome rec;
+      rec.source = "service";
+      const core::LowCommParams& p = job->request.params;
+      rec.n = job->request.input.grid().nx;
+      rec.ranks = 1;
+      rec.nodes = 1;
+      rec.k = p.subdomain;
+      rec.far_rate = static_cast<int>(p.far_rate);
+      rec.schedule =
+          job->plan->choice.schedule == planner::RateSchedule::kUniform
+              ? "uniform"
+              : "banded";
+      rec.route = "local";
+      rec.wire = comm::codec_name(p.wire);
+      rec.batch = p.batch;
+      rec.pred_compute_s = job->stats.predicted_seconds;
+      rec.pred_rate_pps = job->plan_rate_pps;
+      rec.pred_point_passes =
+          job->stats.predicted_seconds * job->plan_rate_pps;
+      rec.pred_wire_s = job->plan->cost.wire.total_seconds();
+      rec.pred_intra_s = job->plan->cost.wire.intra_seconds;
+      rec.pred_inter_s = job->plan->cost.wire.inter_seconds;
+      rec.pred_bytes =
+          static_cast<std::int64_t>(job->plan->cost.exchange_bytes);
+      rec.pred_memory_b =
+          static_cast<std::int64_t>(job->plan->cost.memory_bytes);
+      rec.pred_rel_error = job->plan->cost.predicted_rel_error;
+      rec.meas_wall_s = job->stats.queue_seconds + job->stats.run_seconds;
+      rec.meas_compute_s = job->stats.measured_seconds;
+      rec.meas_memory_peak_b =
+          static_cast<std::int64_t>(device_.peak_bytes());
+      obs::record_plan_outcome(rec);
     }
     latency_hist_.record(job->stats.queue_seconds + job->stats.run_seconds);
     if (job->enqueue_ns != 0 && obs::Tracer::global().enabled()) {
@@ -671,6 +738,9 @@ ServiceStats ConvolutionService::stats() const {
   out.latency_p50_seconds = latency_snap.quantile(0.50);
   out.latency_p95_seconds = latency_snap.quantile(0.95);
   out.latency_p99_seconds = latency_snap.quantile(0.99);
+  const obs::Histogram::Snapshot drift_snap = drift_hist_.snapshot();
+  out.drift_p50_ratio = drift_snap.quantile(0.50);
+  out.drift_p95_ratio = drift_snap.quantile(0.95);
   out.cache = cache_.stats();
   out.arena = arena_.stats();
   out.device_used_bytes = device_.used_bytes();
@@ -705,6 +775,9 @@ TextTable ConvolutionService::stats_table() const {
   table.row({"latency p50 (s)", format_fixed(s.latency_p50_seconds, 4)});
   table.row({"latency p95 (s)", format_fixed(s.latency_p95_seconds, 4)});
   table.row({"latency p99 (s)", format_fixed(s.latency_p99_seconds, 4)});
+  table.row({"planned requests", std::to_string(s.planned)});
+  table.row({"pred/actual p50", format_fixed(s.drift_p50_ratio, 3)});
+  table.row({"pred/actual p95", format_fixed(s.drift_p95_ratio, 3)});
   table.row({"device used", format_bytes_gb(
                                 static_cast<double>(s.device_used_bytes))});
   table.row({"device peak", format_bytes_gb(

@@ -108,10 +108,25 @@ struct ConvolutionRequest {
 struct RequestStats {
   double queue_seconds = 0.0;   ///< admission → wave pickup
   double run_seconds = 0.0;     ///< wave pickup → response ready
+  /// Planner-modeled seconds for this request's share of the plan (its
+  /// sub-domain count over the full decomposition). 0 when the planner is
+  /// off or the response came from the result cache.
+  double predicted_seconds = 0.0;
+  /// Realized seconds the prediction is compared against (run_seconds for
+  /// executed requests; 0 for result-cache hits, which ran nothing).
+  double measured_seconds = 0.0;
   bool result_cache_hit = false;
   bool engine_cache_hit = false;
   bool plan_cache_hit = false;  ///< execution plan found warm in the cache
   std::size_t subdomains = 0;   ///< sub-domain tasks this request spanned
+
+  /// predicted_seconds / measured_seconds (0 when either is unknown) — the
+  /// per-request plan-vs-actual drift ratio. >1 = planner pessimistic.
+  [[nodiscard]] double pred_over_actual() const noexcept {
+    return (predicted_seconds > 0.0 && measured_seconds > 0.0)
+               ? predicted_seconds / measured_seconds
+               : 0.0;
+  }
 };
 
 /// Response: the convolution result plus this request's stats.
@@ -137,6 +152,12 @@ struct ServiceStats {
   double latency_p50_seconds = 0.0;
   double latency_p95_seconds = 0.0;
   double latency_p99_seconds = 0.0;
+  std::size_t planned = 0;           ///< executed requests with a plan price
+  /// Digest of per-request predicted/measured drift ratios (1.0 = the
+  /// planner's compute model nailed it; only planned, executed requests
+  /// contribute). 0 until the first planned request completes.
+  double drift_p50_ratio = 0.0;
+  double drift_p95_ratio = 0.0;
   CacheStats cache;                  ///< resource-cache snapshot
   BufferArena::Stats arena;          ///< workspace-arena snapshot
   std::size_t device_used_bytes = 0;
@@ -213,6 +234,7 @@ class ConvolutionService {
   // Lock-free record() — waves never take mutex_ just to log a sample.
   obs::Histogram queue_hist_;
   obs::Histogram latency_hist_;
+  obs::Histogram drift_hist_;  // predicted/measured ratio per planned request
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,193 @@
+// Abort-path telemetry stress (DESIGN.md §18): a rank that dies mid-run
+// must still leave a well-formed PlanOutcome behind — aborted=true, every
+// JSONL line parseable (no torn writes), the trace still renderable — and
+// concurrent emitters must interleave only at line boundaries. Run under
+// -DLC_SANITIZE=thread these tests also pin down the sink's locking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "comm/sim_cluster.hpp"
+#include "core/pipeline.hpp"
+#include "green/gaussian.hpp"
+#include "green/kernel.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace lc::core {
+namespace {
+
+// Delegating kernel that starts throwing after `fuse` spectrum evaluations
+// (across all ranks): the synthetic hardware fault that aborts a run at an
+// arbitrary point inside the slab pipeline.
+class ThrowingSpectrum final : public green::KernelSpectrum {
+ public:
+  ThrowingSpectrum(std::shared_ptr<const green::KernelSpectrum> inner,
+                   std::int64_t fuse)
+      : inner_(std::move(inner)), fuse_(fuse) {}
+
+  [[nodiscard]] green::cplx eval(const Index3& bin,
+                                 const Grid3& g) const override {
+    burn(1);
+    return inner_->eval(bin, g);
+  }
+  void eval_z_run(const Index3& start, const Grid3& g,
+                  std::span<green::cplx> out) const override {
+    burn(static_cast<std::int64_t>(out.size()));
+    inner_->eval_z_run(start, g, out);
+  }
+  [[nodiscard]] std::string name() const override { return "throwing"; }
+
+ private:
+  void burn(std::int64_t evals) const {
+    if (calls_.fetch_add(evals, std::memory_order_relaxed) >= fuse_) {
+      throw std::runtime_error("synthetic kernel fault");
+    }
+  }
+
+  std::shared_ptr<const green::KernelSpectrum> inner_;
+  std::int64_t fuse_;
+  mutable std::atomic<std::int64_t> calls_{0};
+};
+
+// Point the global sink at a fresh file for the duration of one test.
+class ScopedTelemetryPath {
+ public:
+  explicit ScopedTelemetryPath(const std::string& path)
+      : previous_(obs::TelemetrySink::global().path()) {
+    obs::TelemetrySink::global().set_path(path);
+    std::remove(path.c_str());
+  }
+  ~ScopedTelemetryPath() { obs::TelemetrySink::global().set_path(previous_); }
+
+ private:
+  std::string previous_;
+};
+
+std::size_t raw_line_count(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  std::size_t lines = 0;
+  int c = 0, last = '\n';
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') ++lines;
+    last = c;
+  }
+  std::fclose(f);
+  if (last != '\n') ++lines;  // a torn tail still counts as a line
+  return lines;
+}
+
+RealField random_field(const Grid3& g, std::uint64_t seed) {
+  RealField f(g);
+  SplitMix64 rng(seed);
+  for (auto& v : f.span()) v = rng.uniform(-1.0, 1.0);
+  return f;
+}
+
+LowCommParams stress_params() {
+  LowCommParams p;
+  p.subdomain = 16;
+  p.far_rate = 2;
+  p.uniform_rate = 2;
+  p.batch = 256;
+  return p;
+}
+
+TEST(TelemetryAbortStress, AbortedRankStillEmitsWellFormedRecord) {
+  const std::string path =
+      testing::TempDir() + "lc_stress_telemetry_abort.jsonl";
+  ScopedTelemetryPath scoped(path);
+
+  const Grid3 g = Grid3::cube(32);
+  const int ranks = 4;
+  const auto gauss = std::make_shared<green::GaussianSpectrum>(g, 2.0);
+  const RealField input = random_field(g, 99);
+
+  // Trace through the abort too: the exported JSON must stay well-formed
+  // even when rank threads unwound mid-span.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable();
+
+  // Let the run get past setup, then blow up inside the pipeline.
+  const auto kernel = std::make_shared<ThrowingSpectrum>(gauss, 20000);
+  comm::SimCluster cluster(ranks);
+  EXPECT_THROW((void)distributed_lowcomm_convolve(cluster, input, g, kernel,
+                                                  stress_params()),
+               std::runtime_error);
+  tracer.disable();
+
+  const auto records = obs::read_plan_outcomes(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(raw_line_count(path), records.size());  // no torn lines
+  const obs::PlanOutcome& rec = records.back();
+  EXPECT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.source, "pipeline");
+  EXPECT_EQ(rec.ranks, ranks);
+  EXPECT_EQ(rec.n, 32);
+  // Predictions were frozen before the run and survive the unwind.
+  EXPECT_GT(rec.pred_bytes, 0);
+  EXPECT_GT(rec.pred_point_passes, 0.0);
+
+  const std::string json = tracer.render_chrome_trace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+
+  // The same cluster must come back clean: a full re-run with the healthy
+  // kernel succeeds and appends a second, non-aborted record.
+  (void)distributed_lowcomm_convolve(cluster, input, g, gauss,
+                                     stress_params());
+  const auto after = obs::read_plan_outcomes(path);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(raw_line_count(path), after.size());
+  EXPECT_FALSE(after.back().aborted);
+  EXPECT_GT(after.back().meas_bytes, 0);
+  EXPECT_EQ(after.back().pred_bytes, after.back().meas_bytes);
+}
+
+TEST(TelemetryAbortStress, ConcurrentEmittersNeverTearLines) {
+  const std::string path =
+      testing::TempDir() + "lc_stress_telemetry_concurrent.jsonl";
+  ScopedTelemetryPath scoped(path);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::PlanOutcome rec;
+        rec.source = (t % 2 == 0) ? "pipeline" : "service";
+        rec.aborted = (i % 3 == 0);
+        rec.n = 64 + t;
+        rec.ranks = 4;
+        rec.k = 16;
+        rec.pred_point_passes = 1e9 + i;
+        rec.meas_compute_s = 0.5 + 0.001 * i;
+        obs::record_plan_outcome(rec);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  // Every line parses and none were lost or interleaved mid-record.
+  const auto records = obs::read_plan_outcomes(path);
+  EXPECT_EQ(records.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(raw_line_count(path), records.size());
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.source == "pipeline" || rec.source == "service");
+    EXPECT_EQ(rec.ranks, 4);
+  }
+}
+
+}  // namespace
+}  // namespace lc::core

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -18,6 +20,7 @@
 #include "green/gaussian.hpp"
 #include "obs/comm_volume.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/service.hpp"
 
@@ -423,6 +426,316 @@ TEST(ObsService, LatencyDigestsComeFromHistogram) {
   EXPECT_LE(stats.latency_p50_seconds, stats.latency_p95_seconds);
   EXPECT_LE(stats.latency_p95_seconds, stats.latency_p99_seconds);
   EXPECT_GE(stats.queue_p99_seconds, stats.queue_p50_seconds);
+}
+
+// --- Flow events, thread labels, dropped-event surfacing -------------------
+
+TEST(ObsTrace, FlowPairRendersAsStitchableSendRecvArrow) {
+  obs::Tracer tracer;  // local instance: does not pollute the global one
+  tracer.record_flow("comm.msg.intra", 0xabcdULL, 4096, /*finish=*/false);
+  tracer.record_flow("comm.msg.intra", 0xabcdULL, 4096, /*finish=*/true);
+
+  const auto per_thread = tracer.snapshot();
+  ASSERT_EQ(per_thread.size(), 1u);
+  ASSERT_EQ(per_thread[0].events.size(), 2u);
+  EXPECT_EQ(per_thread[0].events[0].phase, 's');
+  EXPECT_EQ(per_thread[0].events[1].phase, 'f');
+  EXPECT_EQ(per_thread[0].events[0].flow_id, 0xabcdULL);
+  EXPECT_EQ(per_thread[0].events[0].bytes, 4096u);
+  EXPECT_EQ(per_thread[0].events[0].dur_ns, 0);
+
+  const std::string json = tracer.render_chrome_trace();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Both halves carry the shared hex id and the payload size; the finish
+  // additionally binds to the enclosing slice so Perfetto draws the arrow.
+  EXPECT_NE(json.find("\"id\":\"0xabcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":4096}"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(ObsTrace, ThreadLabelExportsThreadNameMetadata) {
+  obs::Tracer tracer;
+  tracer.set_thread_label("rank 7");
+  tracer.record("obs_test.labeled_span", tracer.now_ns(), 10);
+
+  const auto per_thread = tracer.snapshot();
+  ASSERT_EQ(per_thread.size(), 1u);
+  EXPECT_EQ(per_thread[0].label, "rank 7");
+
+  const std::string json = tracer.render_chrome_trace();
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"rank 7\"}"), std::string::npos);
+}
+
+TEST(ObsTrace, DroppedEventsSurfaceInExportSnapshotAndCounter) {
+  auto& counter = obs::Registry::global().counter("trace.dropped_events");
+  const std::uint64_t counter_before = counter.value();
+
+  obs::Tracer tracer;
+  for (std::size_t i = 0; i < obs::Tracer::kBufferCapacity + 3; ++i) {
+    tracer.record("obs_test.flood", static_cast<std::int64_t>(i), 1);
+  }
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(counter.value() - counter_before, 3u);
+
+  const auto per_thread = tracer.snapshot();
+  ASSERT_EQ(per_thread.size(), 1u);
+  EXPECT_EQ(per_thread[0].dropped, 3u);  // per-thread attribution survives
+
+  // The loss is visible from the artifact alone.
+  const std::string json = tracer.render_chrome_trace();
+  EXPECT_NE(json.find("\"droppedEvents\":3,"), std::string::npos);
+}
+
+// --- Prometheus: real cumulative histogram next to the summary -------------
+
+TEST(ObsRegistry, PrometheusEmitsCumulativeHistogramBuckets) {
+  auto& reg = obs::Registry::global();
+  obs::Histogram& h = reg.histogram("obs_test.bucket_hist");
+  // Four samples across distinct log buckets plus a repeat: cumulative
+  // counts must be monotone and end at the total.
+  for (const double v : {0.001, 0.1, 0.1, 10.0, 1000.0}) h.record(v);
+
+  const std::string prom = reg.render_prometheus();
+  const std::string base = "lc_obs_test_bucket_hist";
+
+  // The summary family is untouched (existing dashboards keep working).
+  EXPECT_NE(prom.find("# TYPE " + base + " summary"), std::string::npos);
+  EXPECT_NE(prom.find(base + "{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(prom.find(base + "_count 5"), std::string::npos);
+
+  // The sibling _hist family is a real histogram with le-labeled buckets.
+  EXPECT_NE(prom.find("# TYPE " + base + "_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find(base + "_hist_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(prom.find(base + "_hist_count 5"), std::string::npos);
+  EXPECT_NE(prom.find(base + "_hist_sum "), std::string::npos);
+
+  // Walk every bucket line: upper bounds strictly increasing, cumulative
+  // counts non-decreasing, and the last finite bucket holds all 5 samples.
+  const std::string prefix = base + "_hist_bucket{le=\"";
+  double prev_upper = -1.0;
+  unsigned long long prev_cum = 0;
+  std::size_t bucket_lines = 0;
+  for (std::string::size_type p = prom.find(prefix); p != std::string::npos;
+       p = prom.find(prefix, p + 1)) {
+    const char* s = prom.c_str() + p + prefix.size();
+    if (std::strncmp(s, "+Inf", 4) == 0) continue;
+    double upper = 0.0;
+    unsigned long long cum = 0;
+    ASSERT_EQ(std::sscanf(s, "%lf\"} %llu", &upper, &cum), 2);
+    EXPECT_GT(upper, prev_upper);
+    EXPECT_GE(cum, prev_cum);
+    prev_upper = upper;
+    prev_cum = cum;
+    ++bucket_lines;
+  }
+  EXPECT_GE(bucket_lines, 4u);  // >= one line per distinct sample bucket
+  EXPECT_EQ(prev_cum, 5u);
+}
+
+// --- Plan-vs-actual telemetry (DESIGN.md §18) ------------------------------
+
+obs::PlanOutcome distinctive_outcome() {
+  obs::PlanOutcome o;
+  o.source = "pipeline";
+  o.aborted = true;
+  o.n = 128;
+  o.ranks = 8;
+  o.nodes = 2;
+  o.k = 32;
+  o.far_rate = 4;
+  o.schedule = "banded";
+  o.route = "hierarchical";
+  o.wire = "quant12";
+  o.batch = 256;
+  o.pred_compute_s = 1.25;
+  o.pred_point_passes = 2.5e8;
+  o.pred_rate_pps = 2e8;
+  o.pred_wire_s = 0.5;
+  o.pred_intra_s = 0.125;
+  o.pred_inter_s = 0.375;
+  o.pred_bytes = 123456789;
+  o.pred_intra_bytes = 23456789;
+  o.pred_inter_bytes = 100000000;
+  o.pred_intra_msgs = 96;
+  o.pred_inter_msgs = 14;
+  o.pred_memory_b = 1 << 30;
+  o.pred_rel_error = 1.5e-3;
+  o.meas_wall_s = 2.0;
+  o.meas_compute_s = 1.5;
+  o.meas_wire_s = 0.75;
+  o.meas_intra_wire_s = 0.25;
+  o.meas_inter_wire_s = 0.5;
+  o.meas_bytes = 123456789;
+  o.meas_intra_bytes = 23456789;
+  o.meas_inter_bytes = 100000000;
+  o.meas_intra_msgs = 96;
+  o.meas_inter_msgs = 14;
+  o.meas_memory_peak_b = (1 << 30) + 512;
+  o.meas_max_quant_error = 7.5e-4;
+  o.meas_barrier_wait_s = 0.0625;
+  o.meas_recv_wait_s = 0.03125;
+  return o;
+}
+
+TEST(ObsTelemetry, JsonLineRoundTripsEveryField) {
+  const obs::PlanOutcome o = distinctive_outcome();
+  const std::string line = obs::to_json_line(o);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single JSONL line
+
+  obs::PlanOutcome r;
+  ASSERT_TRUE(obs::parse_plan_outcome(line, r));
+  EXPECT_EQ(r.v, o.v);
+  EXPECT_EQ(r.source, o.source);
+  EXPECT_EQ(r.aborted, o.aborted);
+  EXPECT_EQ(r.n, o.n);
+  EXPECT_EQ(r.ranks, o.ranks);
+  EXPECT_EQ(r.nodes, o.nodes);
+  EXPECT_EQ(r.k, o.k);
+  EXPECT_EQ(r.far_rate, o.far_rate);
+  EXPECT_EQ(r.schedule, o.schedule);
+  EXPECT_EQ(r.route, o.route);
+  EXPECT_EQ(r.wire, o.wire);
+  EXPECT_EQ(r.batch, o.batch);
+  EXPECT_DOUBLE_EQ(r.pred_compute_s, o.pred_compute_s);
+  EXPECT_DOUBLE_EQ(r.pred_point_passes, o.pred_point_passes);
+  EXPECT_DOUBLE_EQ(r.pred_rate_pps, o.pred_rate_pps);
+  EXPECT_DOUBLE_EQ(r.pred_wire_s, o.pred_wire_s);
+  EXPECT_DOUBLE_EQ(r.pred_intra_s, o.pred_intra_s);
+  EXPECT_DOUBLE_EQ(r.pred_inter_s, o.pred_inter_s);
+  EXPECT_EQ(r.pred_bytes, o.pred_bytes);
+  EXPECT_EQ(r.pred_intra_bytes, o.pred_intra_bytes);
+  EXPECT_EQ(r.pred_inter_bytes, o.pred_inter_bytes);
+  EXPECT_EQ(r.pred_intra_msgs, o.pred_intra_msgs);
+  EXPECT_EQ(r.pred_inter_msgs, o.pred_inter_msgs);
+  EXPECT_EQ(r.pred_memory_b, o.pred_memory_b);
+  EXPECT_DOUBLE_EQ(r.pred_rel_error, o.pred_rel_error);
+  EXPECT_DOUBLE_EQ(r.meas_wall_s, o.meas_wall_s);
+  EXPECT_DOUBLE_EQ(r.meas_compute_s, o.meas_compute_s);
+  EXPECT_DOUBLE_EQ(r.meas_wire_s, o.meas_wire_s);
+  EXPECT_DOUBLE_EQ(r.meas_intra_wire_s, o.meas_intra_wire_s);
+  EXPECT_DOUBLE_EQ(r.meas_inter_wire_s, o.meas_inter_wire_s);
+  EXPECT_EQ(r.meas_bytes, o.meas_bytes);
+  EXPECT_EQ(r.meas_intra_bytes, o.meas_intra_bytes);
+  EXPECT_EQ(r.meas_inter_bytes, o.meas_inter_bytes);
+  EXPECT_EQ(r.meas_intra_msgs, o.meas_intra_msgs);
+  EXPECT_EQ(r.meas_inter_msgs, o.meas_inter_msgs);
+  EXPECT_EQ(r.meas_memory_peak_b, o.meas_memory_peak_b);
+  EXPECT_DOUBLE_EQ(r.meas_max_quant_error, o.meas_max_quant_error);
+  EXPECT_DOUBLE_EQ(r.meas_barrier_wait_s, o.meas_barrier_wait_s);
+  EXPECT_DOUBLE_EQ(r.meas_recv_wait_s, o.meas_recv_wait_s);
+}
+
+// Repoint the global sink for one test, restoring the previous path on exit.
+class ScopedTelemetryPath {
+ public:
+  explicit ScopedTelemetryPath(const std::string& path)
+      : previous_(obs::TelemetrySink::global().path()) {
+    obs::TelemetrySink::global().set_path(path);
+    std::remove(path.c_str());  // each test starts with a fresh history
+  }
+  ~ScopedTelemetryPath() { obs::TelemetrySink::global().set_path(previous_); }
+
+ private:
+  std::string previous_;
+};
+
+TEST(ObsTelemetry, SinkAppendsLinesAndReaderSkipsGarbage) {
+  const std::string path = testing::TempDir() + "lc_obs_telemetry_sink.jsonl";
+  ScopedTelemetryPath scoped(path);
+  ASSERT_TRUE(obs::telemetry_enabled());
+
+  obs::record_plan_outcome(distinctive_outcome());
+  obs::PlanOutcome second = distinctive_outcome();
+  second.source = "service";
+  second.aborted = false;
+  obs::record_plan_outcome(second);
+  {  // a torn / foreign line must be skipped by the reader, not fatal
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"v\":1,\"source\":\"pipeline\",\"aborted\":fal", f);
+    std::fclose(f);
+  }
+
+  const auto records = obs::read_plan_outcomes(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].source, "pipeline");
+  EXPECT_TRUE(records[0].aborted);
+  EXPECT_EQ(records[1].source, "service");
+  EXPECT_FALSE(records[1].aborted);
+
+  // The drift gauges updated as a side effect: pred/meas = 1.25/1.5.
+  EXPECT_NEAR(obs::Registry::global()
+                  .gauge("planner.pred_over_actual_compute")
+                  .value(),
+              1.25 / 1.5, 1e-12);
+}
+
+TEST(ObsTelemetry, DistributedConvolveEmitsOnePlanOutcome) {
+  const std::string path =
+      testing::TempDir() + "lc_obs_telemetry_pipeline.jsonl";
+  ScopedTelemetryPath scoped(path);
+
+  const Grid3 grid = Grid3::cube(32);
+  const int ranks = 2;
+  const auto kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  RealField input(grid);
+  SplitMix64 rng(15);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  comm::SimCluster cluster(ranks);
+  (void)core::distributed_lowcomm_convolve(cluster, input, grid, kernel,
+                                           uniform_params(16, 2));
+
+  const auto records = obs::read_plan_outcomes(path);
+  ASSERT_EQ(records.size(), 1u);
+  const obs::PlanOutcome& rec = records[0];
+  EXPECT_EQ(rec.source, "pipeline");
+  EXPECT_FALSE(rec.aborted);
+  EXPECT_EQ(rec.n, 32);
+  EXPECT_EQ(rec.k, 16);
+  EXPECT_EQ(rec.ranks, ranks);
+  EXPECT_EQ(rec.route, "flat");
+  // The byte prediction is an exact mirror of the executed exchange.
+  EXPECT_GT(rec.meas_bytes, 0);
+  EXPECT_EQ(rec.pred_bytes, rec.meas_bytes);
+  EXPECT_EQ(rec.meas_bytes,
+            static_cast<std::int64_t>(cluster.stats().bytes_sent.load()));
+  EXPECT_GT(rec.meas_compute_s, 0.0);
+  EXPECT_GT(rec.pred_point_passes, 0.0);
+  EXPECT_GT(rec.pred_rate_pps, 0.0);
+}
+
+TEST(ObsService, DriftStatsPairPredictedWithMeasuredSeconds) {
+  ScopedTelemetryPath scoped("");  // keep this test off any ambient sink
+  runtime::ConvolutionService service;
+
+  const Grid3 grid = Grid3::cube(32);
+  RealField input(grid);
+  SplitMix64 rng(16);
+  for (auto& v : input.span()) v = rng.uniform(-1.0, 1.0);
+
+  runtime::ConvolutionRequest req;
+  req.input = input;
+  req.kernel = std::make_shared<green::GaussianSpectrum>(grid, 2.0);
+  req.params = uniform_params(16, 2);
+  req.subdomain = 0;
+  const auto response = service.run(std::move(req));
+
+  EXPECT_GT(response.stats.predicted_seconds, 0.0);
+  EXPECT_GT(response.stats.measured_seconds, 0.0);
+  EXPECT_GT(response.stats.pred_over_actual(), 0.0);
+
+  const runtime::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.planned, 1u);
+  EXPECT_GT(stats.drift_p50_ratio, 0.0);
+  EXPECT_GE(stats.drift_p95_ratio, stats.drift_p50_ratio);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // bit-for-bit escape hatch through ConvolutionService.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -13,6 +14,8 @@
 #include "common/rng.hpp"
 #include "green/gaussian.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "planner/calibration.hpp"
 #include "planner/planner.hpp"
 #include "runtime/plan_provider.hpp"
 #include "runtime/service.hpp"
@@ -428,6 +431,170 @@ TEST(ServicePlanner, AutoPlansWhenSubdomainUnset) {
   auto second = service.run(
       runtime::ConvolutionRequest{input, kernel, p, {}, {}});
   EXPECT_TRUE(second.stats.plan_cache_hit);
+}
+
+// --- Calibration: fitting the history back into the pricing ---------------
+
+// A distributed plan-vs-actual record whose measured compute implies the
+// given rate (pred_point_passes / meas_compute_s == rate).
+obs::PlanOutcome record_with_rate(double rate, int ranks = 4,
+                                  bool aborted = false) {
+  obs::PlanOutcome r;
+  r.source = "pipeline";
+  r.ranks = ranks;
+  r.nodes = 2;
+  r.pred_point_passes = 1e9;
+  r.meas_compute_s = 1e9 / rate;
+  r.aborted = aborted;
+  return r;
+}
+
+TEST(PlannerCalibration, FitTakesMedianRateAndSkipsUnusableRecords) {
+  std::vector<obs::PlanOutcome> records;
+  records.push_back(record_with_rate(1e8));
+  records.push_back(record_with_rate(4e8));
+  records.push_back(record_with_rate(2e8));
+  // None of these may steer the fit: an aborted run, a single-rank service
+  // record, and a record with no measured compute at all.
+  records.push_back(record_with_rate(1e12, 4, /*aborted=*/true));
+  records.push_back(record_with_rate(1e12, 1));
+  records.push_back([] {
+    obs::PlanOutcome r = record_with_rate(1e8);
+    r.meas_compute_s = 0.0;
+    return r;
+  }());
+
+  const Calibration cal = fit_calibration(records);
+  EXPECT_TRUE(cal.valid);
+  EXPECT_EQ(cal.samples, 3);
+  EXPECT_DOUBLE_EQ(cal.rate_pps, 2e8);  // median, not mean
+}
+
+TEST(PlannerCalibration, BelowMinSamplesFitIsInvalidAndApplyIsNoOp) {
+  const Calibration cal =
+      fit_calibration({record_with_rate(1e8)});  // one lone record
+  EXPECT_FALSE(cal.valid);
+  EXPECT_EQ(cal.samples, 1);
+  EXPECT_EQ(cal.cache_salt(), "-");
+
+  const PlanRequest untouched = apply_calibration(PlanRequest{}, cal);
+  const PlanRequest defaults;
+  EXPECT_DOUBLE_EQ(untouched.compute_rate_pps, defaults.compute_rate_pps);
+  EXPECT_DOUBLE_EQ(untouched.links.intra.alpha, defaults.links.intra.alpha);
+  EXPECT_DOUBLE_EQ(untouched.links.inter.beta, defaults.links.inter.beta);
+}
+
+TEST(PlannerCalibration, AlphaBetaFitRecoversPlantedLinkModel) {
+  // Synthesize executed wire times from a known α-β on both levels with
+  // non-collinear (messages, bytes) shapes: least squares must recover the
+  // planted coefficients (the data is exactly linear, so up to rounding).
+  const double ia = 5e-6, ib = 2e-9, oa = 2e-5, obeta = 9e-9;
+  const double msgs[4] = {10.0, 20.0, 40.0, 5.0};
+  const double bytes[4] = {1e6, 3e6, 2e6, 8e6};
+  std::vector<obs::PlanOutcome> records;
+  for (int i = 0; i < 4; ++i) {
+    obs::PlanOutcome r = record_with_rate(2e8);
+    r.meas_intra_msgs = static_cast<std::int64_t>(msgs[i]);
+    r.meas_intra_bytes = static_cast<std::int64_t>(bytes[i]);
+    r.meas_intra_wire_s = ia * msgs[i] + ib * bytes[i];
+    r.meas_inter_msgs = static_cast<std::int64_t>(msgs[i] * 2);
+    r.meas_inter_bytes = static_cast<std::int64_t>(bytes[i] * 3);
+    r.meas_inter_wire_s = oa * msgs[i] * 2 + obeta * bytes[i] * 3;
+    records.push_back(r);
+  }
+
+  const Calibration cal = fit_calibration(records);
+  ASSERT_TRUE(cal.valid);
+  EXPECT_NEAR(cal.intra_alpha, ia, ia * 1e-6);
+  EXPECT_NEAR(cal.intra_beta, ib, ib * 1e-6);
+  EXPECT_NEAR(cal.inter_alpha, oa, oa * 1e-6);
+  EXPECT_NEAR(cal.inter_beta, obeta, obeta * 1e-6);
+}
+
+TEST(PlannerCalibration, SaveLoadRoundTripsAndMissingFileIsInvalid) {
+  Calibration cal;
+  cal.valid = true;
+  cal.samples = 7;
+  cal.rate_pps = 3.25e8;
+  cal.intra_alpha = 5e-7;
+  cal.intra_beta = 2.5e-11;
+  cal.inter_alpha = 1.5e-6;
+  cal.inter_beta = 1.25e-10;
+
+  const std::string path = testing::TempDir() + "lc_planner_cal.json";
+  ASSERT_TRUE(save_calibration(cal, path));
+  const Calibration loaded = load_calibration(path);
+  EXPECT_TRUE(loaded.valid);
+  EXPECT_EQ(loaded.samples, cal.samples);
+  EXPECT_DOUBLE_EQ(loaded.rate_pps, cal.rate_pps);
+  EXPECT_DOUBLE_EQ(loaded.intra_alpha, cal.intra_alpha);
+  EXPECT_DOUBLE_EQ(loaded.intra_beta, cal.intra_beta);
+  EXPECT_DOUBLE_EQ(loaded.inter_alpha, cal.inter_alpha);
+  EXPECT_DOUBLE_EQ(loaded.inter_beta, cal.inter_beta);
+  EXPECT_EQ(loaded.cache_salt(), cal.cache_salt());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_calibration(path).valid);  // gone → invalid, no throw
+}
+
+TEST(PlannerCalibration, ApplySubstitutesFittedRateAndLinks) {
+  Calibration cal;
+  cal.valid = true;
+  cal.samples = 3;
+  cal.rate_pps = 3.5e8;
+  cal.intra_alpha = 4e-7;
+  cal.intra_beta = 3e-11;
+  cal.inter_alpha = 2e-6;
+  cal.inter_beta = 2e-10;
+
+  const PlanRequest req = apply_calibration(PlanRequest{}, cal);
+  EXPECT_DOUBLE_EQ(req.compute_rate_pps, 3.5e8);
+  EXPECT_DOUBLE_EQ(req.links.intra.alpha, 4e-7);
+  EXPECT_DOUBLE_EQ(req.links.intra.beta, 3e-11);
+  EXPECT_DOUBLE_EQ(req.links.inter.alpha, 2e-6);
+  EXPECT_DOUBLE_EQ(req.links.inter.beta, 2e-10);
+}
+
+TEST(PlannerCalibration, EnvCalibrationRescalesPlansAndSaltsCacheKeys) {
+  // Pin the candidate so both plans price the SAME pipeline; double the
+  // compute rate and keep the default link model, and the planner's
+  // compute price must exactly halve. The cache key must change with the
+  // fit so stale cached plans cannot survive a recalibration.
+  PlanRequest req = small_request();
+  req.pinned = params_of(16, 2);
+  const Planner planner;
+
+  ::unsetenv("LC_CALIBRATION");
+  reload_calibration();
+  const ExecutionPlan before = planner.plan(req);
+  const std::string key_before = cache_key(req, Mode::kAnalytic);
+  EXPECT_NE(key_before.find("/cal=-"), std::string::npos);
+
+  Calibration cal;
+  cal.valid = true;
+  cal.samples = 2;
+  cal.rate_pps = 2.0 * PlanRequest{}.compute_rate_pps;
+  cal.intra_alpha = comm::HierarchicalLinkModel{}.intra.alpha;
+  cal.intra_beta = comm::HierarchicalLinkModel{}.intra.beta;
+  cal.inter_alpha = comm::HierarchicalLinkModel{}.inter.alpha;
+  cal.inter_beta = comm::HierarchicalLinkModel{}.inter.beta;
+  const std::string path = testing::TempDir() + "lc_planner_env_cal.json";
+  ASSERT_TRUE(save_calibration(cal, path));
+  ::setenv("LC_CALIBRATION", path.c_str(), 1);
+  reload_calibration();
+
+  const ExecutionPlan after = planner.plan(req);
+  EXPECT_EQ(after.params().subdomain, before.params().subdomain);
+  EXPECT_NEAR(after.cost.compute_seconds, 0.5 * before.cost.compute_seconds,
+              1e-12 * before.cost.compute_seconds);
+  const std::string key_after = cache_key(req, Mode::kAnalytic);
+  EXPECT_NE(key_after, key_before);
+  EXPECT_NE(key_after.find("/cal=s2:"), std::string::npos);
+
+  ::unsetenv("LC_CALIBRATION");
+  reload_calibration();
+  std::remove(path.c_str());
+  EXPECT_EQ(cache_key(req, Mode::kAnalytic), key_before);
 }
 
 }  // namespace

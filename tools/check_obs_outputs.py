@@ -3,18 +3,28 @@
 
 Usage:
     check_obs_outputs.py TRACE_JSON METRICS_JSON [--report REPORT_JSON]
-                         [--tol 0.10]
+                         [--tol 0.10] [--telemetry HISTORY_JSONL]
+                         [--calibration CALIBRATION_JSON]
 
 Checks, in order:
   1. TRACE_JSON parses as Chrome trace-event JSON, contains every span the
      pipeline is expected to emit, and the spans of each thread form a
      properly nested forest (async request-lifetime events, which span
-     submit -> respond across wave boundaries, are exempt).
+     submit -> respond across wave boundaries, are exempt). Phases are
+     validated per kind: 'X' complete spans, 's'/'f' flow endpoints (ids
+     must pair up with equal byte payloads), 'M' thread_name metadata; the
+     top-level droppedEvents field must be present.
   2. METRICS_JSON parses, and the cache / pool / comm counters that prove
      each subsystem actually reported are present — with the comm-volume
      counters strictly nonzero.
   3. REPORT_JSON (optional) parses, and the measured payload agrees with
      the Eqn 6 model within --tol (default 10%).
+  4. HISTORY_JSONL (optional) is a valid plan-vs-actual telemetry history:
+     every line parses, carries the full PlanOutcome schema, and each
+     non-aborted distributed pipeline record predicted its exchange bytes
+     exactly (the static traffic mirror is byte-exact by design).
+  5. CALIBRATION_JSON (optional) is a valid fitted calibration with enough
+     samples and a positive compute rate.
 
 Exit code 0 when everything holds; 1 with a message per violation.
 """
@@ -38,6 +48,7 @@ REQUIRED_SPANS = [
     "comm.hier_inter",
     "comm.hier_intra",
     "comm.barrier",
+    "comm.recv_wait",
     "service.wave",
     "service.admission",
     "service.request",
@@ -108,6 +119,46 @@ def check_nesting(events, errors):
             open_ends.append(end)
 
 
+# Required keys per Chrome trace-event phase the tracer emits.
+PHASE_KEYS = {
+    "X": ("name", "ph", "pid", "tid", "ts", "dur"),       # complete span
+    "s": ("name", "ph", "pid", "tid", "ts", "id", "args"),  # flow start
+    "f": ("name", "ph", "pid", "tid", "ts", "id", "args"),  # flow finish
+    "M": ("name", "ph", "pid", "tid", "args"),            # thread metadata
+}
+
+
+def check_flows(events, errors):
+    """'s'/'f' pairs must match one-to-one with equal byte payloads.
+
+    Matching is global: the exporter serializes whole thread buffers, so a
+    receiver's 'f' may appear in the file before its sender's 's'.
+    """
+    sends, finishes = {}, {}
+    for ev in events:
+        if ev["ph"] not in ("s", "f"):
+            continue
+        if "bytes" not in ev["args"]:
+            fail(errors, f"trace: flow event missing args.bytes: {ev}")
+            return
+        side = sends if ev["ph"] == "s" else finishes
+        if ev["id"] in side:
+            fail(errors, f"trace: duplicate flow {ev['ph']} id {ev['id']}")
+            return
+        side[ev["id"]] = ev["args"]["bytes"]
+    for fid, got in finishes.items():
+        if fid not in sends:
+            fail(errors, f"trace: flow finish {fid} has no start")
+        elif sends[fid] != got:
+            fail(errors, f"trace: flow {fid} sent {sends[fid]} B but "
+                         f"finished with {got} B")
+    unfinished = len(sends.keys() - finishes.keys())
+    if unfinished:
+        fail(errors, f"trace: {unfinished} flow starts never finished")
+    if sends:
+        print(f"trace: {len(sends)} send->recv flows stitched")
+
+
 def check_trace(path, errors):
     try:
         with open(path) as f:
@@ -119,26 +170,42 @@ def check_trace(path, errors):
     if not isinstance(events, list) or not events:
         fail(errors, "trace: no traceEvents")
         return
+    if "droppedEvents" not in trace:
+        fail(errors, "trace: top-level droppedEvents field missing")
+    elif trace["droppedEvents"] != 0:
+        fail(errors, f"trace: {trace['droppedEvents']} events were dropped "
+                     "(buffer overflow — trace is incomplete)")
     for ev in events:
-        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        keys = PHASE_KEYS.get(ev.get("ph"))
+        if keys is None:
+            fail(errors, f"trace: unexpected phase in {ev}")
+            return
+        for key in keys:
             if key not in ev:
                 fail(errors, f"trace: event missing '{key}': {ev}")
                 return
-        if ev["ph"] != "X":
-            fail(errors, f"trace: expected complete ('X') events, got {ev}")
-            return
-        if ev["dur"] < 0:
+        if ev["ph"] == "X" and ev["dur"] < 0:
             fail(errors, f"trace: negative duration: {ev}")
             return
-    names = {ev["name"] for ev in events}
+        if ev["ph"] == "M" and "name" not in ev["args"]:
+            fail(errors, f"trace: metadata event missing args.name: {ev}")
+            return
+    spans = [ev for ev in events if ev["ph"] == "X"]
+    names = {ev["name"] for ev in spans}
     for required in REQUIRED_SPANS:
         if required not in names:
             fail(errors, f"trace: required span '{required}' never emitted")
+    # Only complete spans nest; flow endpoints are instants and metadata
+    # has no timestamp at all.
     check_nesting(
-        [ev for ev in events if ev["name"] not in ASYNC_SPANS], errors
+        [ev for ev in spans if ev["name"] not in ASYNC_SPANS], errors
     )
-    print(f"trace: {len(events)} events, {len(names)} span names, "
-          f"{len({e['tid'] for e in events})} threads")
+    check_flows(events, errors)
+    labels = sum(1 for ev in events
+                 if ev["ph"] == "M" and ev["name"] == "thread_name")
+    print(f"trace: {len(events)} events ({len(spans)} spans), "
+          f"{len(names)} span names, {len({e['tid'] for e in events})} "
+          f"threads ({labels} labeled)")
 
 
 def check_metrics(path, errors):
@@ -190,12 +257,111 @@ def check_report(path, tol, errors):
           f"reduction vs dense {report.get('reduction_vs_dense', 0):.2f}x")
 
 
+# The flat PlanOutcome schema (obs/telemetry.hpp): every record line must
+# carry every field, with these types.
+TELEMETRY_SCHEMA = {
+    "v": int, "source": str, "aborted": bool,
+    "n": int, "ranks": int, "nodes": int, "k": int, "far_rate": int,
+    "schedule": str, "route": str, "wire": str, "batch": int,
+    "pred_compute_s": (int, float), "pred_point_passes": (int, float),
+    "pred_rate_pps": (int, float), "pred_wire_s": (int, float),
+    "pred_intra_s": (int, float), "pred_inter_s": (int, float),
+    "pred_bytes": int, "pred_intra_bytes": int, "pred_inter_bytes": int,
+    "pred_intra_msgs": int, "pred_inter_msgs": int, "pred_memory_b": int,
+    "pred_rel_error": (int, float),
+    "meas_wall_s": (int, float), "meas_compute_s": (int, float),
+    "meas_wire_s": (int, float), "meas_intra_wire_s": (int, float),
+    "meas_inter_wire_s": (int, float),
+    "meas_bytes": int, "meas_intra_bytes": int, "meas_inter_bytes": int,
+    "meas_intra_msgs": int, "meas_inter_msgs": int,
+    "meas_memory_peak_b": int, "meas_max_quant_error": (int, float),
+    "meas_barrier_wait_s": (int, float), "meas_recv_wait_s": (int, float),
+}
+
+
+def check_telemetry(path, errors):
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(errors, f"telemetry: cannot load {path}: {e}")
+        return
+    if not lines:
+        fail(errors, "telemetry: history is empty")
+        return
+    distributed = aborted = 0
+    for lineno, line in enumerate(lines, 1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(errors, f"telemetry: line {lineno} is torn or invalid: {e}")
+            continue
+        for key, kind in TELEMETRY_SCHEMA.items():
+            if key not in rec:
+                fail(errors, f"telemetry: line {lineno} missing '{key}'")
+                continue
+            val = rec[key]
+            ok = isinstance(val, kind)
+            if kind is not bool and isinstance(val, bool):
+                ok = False  # bool is an int subclass; don't let it pass
+            if not ok:
+                fail(errors, f"telemetry: line {lineno} field '{key}' has "
+                             f"type {type(val).__name__}")
+        if rec.get("source") not in ("pipeline", "service"):
+            fail(errors, f"telemetry: line {lineno} unknown source "
+                         f"{rec.get('source')!r}")
+        if rec.get("aborted"):
+            aborted += 1
+        if rec.get("ranks", 0) > 1:
+            distributed += 1
+            # The prediction runs the exact static traffic mirror — the
+            # SAME octree walk the cluster executes — so for a completed
+            # distributed run predicted bytes equal executed bytes, not
+            # approximately but identically.
+            if not rec.get("aborted") and rec.get("source") == "pipeline":
+                if rec.get("pred_bytes") != rec.get("meas_bytes"):
+                    fail(errors,
+                         f"telemetry: line {lineno}: pred_bytes "
+                         f"{rec.get('pred_bytes')} != meas_bytes "
+                         f"{rec.get('meas_bytes')} (mirror must be exact)")
+                if rec.get("meas_bytes", 0) <= 0:
+                    fail(errors, f"telemetry: line {lineno}: distributed "
+                                 "record moved no bytes")
+    print(f"telemetry: {len(lines)} records ({distributed} distributed, "
+          f"{aborted} aborted)")
+
+
+def check_calibration(path, errors):
+    try:
+        with open(path) as f:
+            cal = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"calibration: cannot load {path}: {e}")
+        return
+    for key in ("v", "samples", "rate_pps", "intra_alpha", "intra_beta",
+                "inter_alpha", "inter_beta"):
+        if key not in cal:
+            fail(errors, f"calibration: field '{key}' missing")
+            return
+    if cal["samples"] < 2:
+        fail(errors, f"calibration: only {cal['samples']} samples "
+                     "(min-sample guard is 2)")
+    if not cal["rate_pps"] > 0:
+        fail(errors, "calibration: fitted rate_pps is not positive")
+    print(f"calibration: {cal['samples']} samples, rate "
+          f"{cal['rate_pps']:.3g} point-passes/s")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace")
     parser.add_argument("metrics")
     parser.add_argument("--report", default=None)
     parser.add_argument("--tol", type=float, default=0.10)
+    parser.add_argument("--telemetry", default=None,
+                        help="plan-vs-actual JSONL history to schema-check")
+    parser.add_argument("--calibration", default=None,
+                        help="fitted calibration JSON to validate")
     args = parser.parse_args()
 
     errors = []
@@ -203,6 +369,10 @@ def main():
     check_metrics(args.metrics, errors)
     if args.report:
         check_report(args.report, args.tol, errors)
+    if args.telemetry:
+        check_telemetry(args.telemetry, errors)
+    if args.calibration:
+        check_calibration(args.calibration, errors)
 
     for message in errors:
         print(f"FAIL: {message}", file=sys.stderr)

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Cross-rank critical-path analysis of a stitched lc trace (DESIGN.md §18).
+
+Reads the Chrome trace JSON written by --trace / Tracer::write_chrome_trace,
+merges the per-rank thread tracks (threads labeled "rank N" via thread_name
+metadata — one per SimCluster run, so a process that ran both the flat and
+hierarchical routes contributes two tracks per rank id), stitches the
+"comm.msg.*" flow events back into send→recv edges, and attributes every
+nanosecond of exchange wait:
+
+  * "comm.barrier" spans      → barrier wait, per rank
+  * "comm.recv_wait" spans    → recv wait, split per level (intra / inter)
+    by the flow-finish event the wait ended with (the tracer records the
+    'f' endpoint immediately after the wait span on the same thread)
+
+Timestamps are exported as microseconds with %.3f precision, so exact
+integer nanoseconds are recovered via round(us * 1000). The attribution is
+exact by construction: the SimCluster samples ONE clock pair per wait and
+feeds the same integer to both the RankCommStats counter and the trace
+span. `--rank-stats <json>` (written by observability_demo --rank-stats)
+asserts that equality — per rank id, trace-derived byte / message / wait-ns
+totals must equal the executed counters EXACTLY, or the tool exits 1.
+
+Usage:
+  tools/critical_path.py trace.json [--rank-stats rank_stats.json]
+                                    [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+
+RANK_LABEL = re.compile(r"^rank (\d+)$")
+
+
+def ns(us: float) -> int:
+    """Recover exact integer nanoseconds from a %.3f-microsecond field."""
+    return round(us * 1000)
+
+
+def load_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        raise SystemExit(f"{path}: not a Chrome trace (no traceEvents)")
+    return doc
+
+
+def analyze(doc):
+    events = doc["traceEvents"]
+
+    # tid → rank id, from thread_name metadata.
+    tid_rank = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            m = RANK_LABEL.match(ev.get("args", {}).get("name", ""))
+            if m:
+                tid_rank[ev["tid"]] = int(m.group(1))
+
+    # Per-thread streams in file order (== recording order per thread).
+    streams = defaultdict(list)
+    for ev in events:
+        if ev.get("ph") in ("X", "s", "f"):
+            streams[ev["tid"]].append(ev)
+
+    blank = lambda: {
+        "bytes_sent": 0,
+        "bytes_received": 0,
+        "messages_sent": 0,
+        "messages_received": 0,
+        "intra_bytes_sent": 0,
+        "inter_bytes_sent": 0,
+        "barrier_wait_ns": 0,
+        "recv_wait_ns": 0,
+        "recv_wait_intra_ns": 0,
+        "recv_wait_inter_ns": 0,
+        "recv_wait_unpaired_ns": 0,
+    }
+    ranks = defaultdict(blank)
+
+    # Flow stitching: every 'f' must close exactly one 's' of the same id
+    # with the same byte count. Matching is global, not per-thread — the
+    # exporter serializes whole thread buffers, so a receiver's 'f' may
+    # appear in the file before its sender's 's'.
+    flow_errors = []
+    sends = {}
+    for stream in streams.values():
+        for ev in stream:
+            if ev["ph"] == "s":
+                if ev["id"] in sends:
+                    flow_errors.append(f"duplicate flow start {ev['id']}")
+                sends[ev["id"]] = ev["args"]["bytes"]
+    finished = set()
+
+    for tid, stream in streams.items():
+        rank = tid_rank.get(tid)
+        acc = ranks[rank] if rank is not None else blank()
+        for i, ev in enumerate(stream):
+            ph = ev["ph"]
+            if ph == "s":
+                acc["bytes_sent"] += ev["args"]["bytes"]
+                acc["messages_sent"] += 1
+                if ev["name"] == "comm.msg.intra":
+                    acc["intra_bytes_sent"] += ev["args"]["bytes"]
+                elif ev["name"] == "comm.msg.inter":
+                    acc["inter_bytes_sent"] += ev["args"]["bytes"]
+            elif ph == "f":
+                fid = ev["id"]
+                if fid not in sends:
+                    flow_errors.append(f"flow finish {fid} without start")
+                elif fid in finished:
+                    flow_errors.append(f"duplicate flow finish {fid}")
+                elif sends[fid] != ev["args"]["bytes"]:
+                    flow_errors.append(
+                        f"flow {fid}: sent {sends[fid]} B, received "
+                        f"{ev['args']['bytes']} B")
+                finished.add(fid)
+                acc["bytes_received"] += ev["args"]["bytes"]
+                acc["messages_received"] += 1
+            elif ph == "X":
+                dur = ns(ev["dur"])
+                if ev["name"] == "comm.barrier":
+                    acc["barrier_wait_ns"] += dur
+                elif ev["name"] == "comm.recv_wait":
+                    acc["recv_wait_ns"] += dur
+                    # The matching flow-finish is recorded immediately after
+                    # the wait span on the same thread; its name carries the
+                    # level. A ctx-less message (sent while tracing was off)
+                    # leaves the wait level-unattributed but still counted.
+                    nxt = stream[i + 1] if i + 1 < len(stream) else None
+                    if nxt is not None and nxt["ph"] == "f":
+                        if nxt["name"] == "comm.msg.inter":
+                            acc["recv_wait_inter_ns"] += dur
+                        else:
+                            acc["recv_wait_intra_ns"] += dur
+                    else:
+                        acc["recv_wait_unpaired_ns"] += dur
+
+    for fid in sends:
+        if fid not in finished:
+            flow_errors.append(f"flow start {fid} never finished")
+
+    return {
+        "dropped_events": doc.get("droppedEvents", 0),
+        "ranks": {r: acc for r, acc in sorted(ranks.items())},
+        "flow_errors": flow_errors,
+    }
+
+
+def check_internal(analysis) -> list[str]:
+    """Invariants that must hold for ANY well-formed lc trace."""
+    errors = list(analysis["flow_errors"])
+    for rank, acc in analysis["ranks"].items():
+        parts = (acc["recv_wait_intra_ns"] + acc["recv_wait_inter_ns"] +
+                 acc["recv_wait_unpaired_ns"])
+        if parts != acc["recv_wait_ns"]:
+            errors.append(
+                f"rank {rank}: per-level recv-wait attribution "
+                f"{parts} ns != recv_wait total {acc['recv_wait_ns']} ns")
+    return errors
+
+
+def check_rank_stats(analysis, path) -> list[str]:
+    """Exact equality against the executed RankCommStats ground truth."""
+    with open(path, "r", encoding="utf-8") as f:
+        truth = json.load(f)
+    errors = []
+    fields = [
+        "bytes_sent", "bytes_received", "messages_sent", "messages_received",
+        "intra_bytes_sent", "inter_bytes_sent", "barrier_wait_ns",
+        "recv_wait_ns",
+    ]
+    for entry in truth["per_rank"]:
+        rank = entry["rank"]
+        acc = analysis["ranks"].get(rank)
+        if acc is None:
+            errors.append(f"rank {rank}: present in rank-stats, no labeled "
+                          "thread in the trace")
+            continue
+        for field in fields:
+            if acc[field] != entry[field]:
+                errors.append(
+                    f"rank {rank}: trace {field} = {acc[field]}, executed "
+                    f"RankCommStats says {entry[field]}")
+    extra = set(analysis["ranks"]) - {e["rank"] for e in truth["per_rank"]}
+    extra.discard(None)
+    if extra:
+        errors.append(f"trace has rank tracks {sorted(extra)} absent from "
+                      "the rank-stats file")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON (--trace output)")
+    ap.add_argument("--rank-stats",
+                    help="rank-stats JSON from observability_demo "
+                         "--rank-stats; attribution must match it exactly")
+    ap.add_argument("--json", help="write the analysis as JSON to this path")
+    args = ap.parse_args()
+
+    analysis = analyze(load_trace(args.trace))
+
+    if analysis["dropped_events"]:
+        print(f"WARNING: trace dropped {analysis['dropped_events']} events "
+              "(buffer overflow) — attribution below is incomplete",
+              file=sys.stderr)
+
+    print(f"{'rank':>4} {'sent B':>12} {'recv B':>12} {'barrier ns':>14} "
+          f"{'recv-wait ns':>14} {'intra ns':>14} {'inter ns':>14}")
+    slowest, slowest_wait = None, -1
+    for rank, acc in analysis["ranks"].items():
+        label = str(rank) if rank is not None else "-"
+        print(f"{label:>4} {acc['bytes_sent']:>12} {acc['bytes_received']:>12}"
+              f" {acc['barrier_wait_ns']:>14} {acc['recv_wait_ns']:>14}"
+              f" {acc['recv_wait_intra_ns']:>14}"
+              f" {acc['recv_wait_inter_ns']:>14}")
+        wait = acc["barrier_wait_ns"] + acc["recv_wait_ns"]
+        if rank is not None and wait > slowest_wait:
+            slowest, slowest_wait = rank, wait
+    if slowest is not None:
+        print(f"critical rank: {slowest} ({slowest_wait} ns total exchange "
+              "wait — the straggler the barrier serializes on)")
+
+    errors = check_internal(analysis)
+    if args.rank_stats:
+        errors += check_rank_stats(analysis, args.rank_stats)
+
+    if args.json:
+        out = dict(analysis)
+        out["ranks"] = {str(k): v for k, v in out["ranks"].items()}
+        out["errors"] = errors
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=2)
+            f.write("\n")
+
+    if errors:
+        print("FAIL:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    suffix = " and matches executed RankCommStats exactly" \
+        if args.rank_stats else ""
+    print(f"OK: attribution is internally consistent{suffix}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
